@@ -1,0 +1,162 @@
+// Command iochar runs one application under the simulated Paragon/PFS
+// machine (optionally through the PPFS policy layer) and reports its I/O
+// characterization: operation-summary and request-size tables, per-file
+// lifetime summaries, and (optionally) an SDDF trace file.
+//
+// Usage:
+//
+//	iochar -app escat [-small] [-policy none|ppfs|adaptive]
+//	       [-trace FILE] [-trace-ascii] [-window SECONDS] [-figures DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/iotrace"
+	"repro/internal/ppfs"
+	"repro/internal/sddf"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iochar: ")
+	app := flag.String("app", "escat", "application to run (escat, render, htf)")
+	small := flag.Bool("small", false, "reduced-scale configuration (fast)")
+	policy := flag.String("policy", "none", "file system policy layer: none, ppfs, adaptive")
+	traceFile := flag.String("trace", "", "write the SDDF event trace to this file")
+	traceASCII := flag.Bool("trace-ascii", false, "write the trace in ASCII SDDF instead of binary")
+	summaryFile := flag.String("summaries", "", "write the Pablo reductions as SDDF records to this file")
+	jsonFile := flag.String("json", "", "write the characterization results as JSON to this file")
+	window := flag.Float64("window", 10, "time-window reduction width in seconds")
+	figures := flag.String("figures", "", "write figure CSV/ASCII files to this directory")
+	flag.Parse()
+
+	var study core.Study
+	if *small {
+		study = core.SmallStudy(core.AppID(*app))
+	} else {
+		study = core.PaperStudy(core.AppID(*app))
+	}
+	study.WindowWidth = sim.FromSeconds(*window)
+
+	switch *policy {
+	case "none":
+	case "ppfs":
+		pol := ppfs.DefaultPolicy()
+		study.Policy = &pol
+	case "adaptive":
+		pol := ppfs.DefaultPolicy()
+		pol.Adaptive = true
+		study.Policy = &pol
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	report, err := core.Run(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: wall clock %.2f s, %d I/O events\n\n", *app, report.Wall.Seconds(), len(report.Events))
+	for _, table := range report.Tables() {
+		fmt.Println(table)
+	}
+	printLifetimes(report)
+	fmt.Println(analysis.RenderPurposes(report.Purposes()))
+	fmt.Println(analysis.RenderPatternSummary(report.Events))
+	fmt.Println(analysis.RenderActivity(report.Windows, 72))
+	if report.PolicyStats != nil {
+		s := *report.PolicyStats
+		fmt.Printf("PPFS policy activity: %d buffered writes, %d direct, %d flush extents (mean %s), %d drains, %d prefetches\n\n",
+			s.BufferedWrites, s.DirectWrites, s.Flushes,
+			analysis.HumanBytes(s.MeanFlushExtent()), s.Drains, s.Prefetches)
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sddf.WriteTrace(f, report.Events, *traceASCII); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", len(report.Events), *traceFile)
+	}
+
+	if *jsonFile != "" {
+		f, err := os.Create(*jsonFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("json -> %s\n", *jsonFile)
+	}
+
+	if *summaryFile != "" {
+		f, err := os.Create(*summaryFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sddf.WriteSummaries(f, *traceASCII, report.Lifetime, report.Windows, nil, report.Wall); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("summaries -> %s\n", *summaryFile)
+	}
+
+	if *figures != "" {
+		if err := os.MkdirAll(*figures, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, fig := range report.Figures() {
+			f, err := os.Create(filepath.Join(*figures, fig.ID+".csv"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := analysis.WriteCSV(f, fig.Points); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			txt := analysis.RenderScatter(fig.Points, analysis.PlotOptions{Title: fig.Title, LogY: fig.LogY})
+			if err := os.WriteFile(filepath.Join(*figures, fig.ID+".txt"), []byte(txt), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("figures: %d -> %s\n", len(report.Figures()), *figures)
+	}
+}
+
+// printLifetimes shows the Pablo file-lifetime reduction.
+func printLifetimes(r *core.Report) {
+	fmt.Println("File lifetime summary (Pablo reduction):")
+	fmt.Printf("%4s %8s %8s %8s %12s %12s %12s\n",
+		"file", "reads", "writes", "seeks", "bytes read", "bytes written", "open time")
+	for _, f := range r.Lifetime.Files() {
+		fmt.Printf("%4d %8d %8d %8d %12s %12s %12.2fs\n",
+			f.File,
+			f.Count[iotrace.OpRead]+f.Count[iotrace.OpAsyncRead],
+			f.Count[iotrace.OpWrite],
+			f.Count[iotrace.OpSeek],
+			analysis.HumanBytes(f.BytesRead),
+			analysis.HumanBytes(f.BytesWritten),
+			f.FinalOpenTime(r.Wall).Seconds())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,93 @@
+// Command replay re-executes a captured SDDF application trace against an
+// alternative machine configuration — trace-driven "what-if" evaluation:
+//
+//	iochar -app escat -small -trace escat.sddf     # capture
+//	replay -ionodes 32 -stripe 131072 escat.sddf   # what if the machine differed?
+//
+// It prints the replayed operation summary, the makespan, and (with -sweep)
+// an I/O-node scaling table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/replay"
+	"repro/internal/sddf"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("replay: ")
+	ionodes := flag.Int("ionodes", 16, "I/O nodes in the replay machine")
+	stripe := flag.Int64("stripe", 64*1024, "stripe unit in bytes")
+	nodes := flag.Int("nodes", 0, "compute nodes (0 = infer from trace, min 1 more than max node)")
+	think := flag.Bool("think", true, "preserve the trace's inter-request compute gaps")
+	sweep := flag.Bool("sweep", false, "replay across 1..64 I/O nodes and print the scaling table")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: replay [flags] TRACE.sddf")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := sddf.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxNode := 0
+	for _, e := range trace {
+		if e.Node > maxNode {
+			maxNode = e.Node
+		}
+	}
+	compute := *nodes
+	if compute == 0 {
+		compute = maxNode + 1
+	}
+
+	mkOpt := func(ion int) replay.Options {
+		mc := workload.DefaultMachineConfig()
+		mc.ComputeNodes = compute
+		mc.PFS.IONodes = ion
+		mc.PFS.StripeUnit = *stripe
+		return replay.Options{Machine: mc, PreserveThinkTime: *think}
+	}
+
+	if *sweep {
+		fmt.Printf("%-10s %12s %14s %10s\n", "I/O nodes", "makespan", "I/O node-time", "skipped")
+		for _, ion := range []int{1, 2, 4, 8, 16, 32, 64} {
+			res, err := replay.Run(trace, mkOpt(ion))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10d %11.2fs %13.2fs %10d\n",
+				ion, res.Makespan.Seconds(), res.Summary.Total.NodeTime.Seconds(), res.Skipped)
+		}
+		return
+	}
+
+	res, err := replay.Run(trace, mkOpt(*ionodes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d events on %d compute + %d I/O nodes (stripe %s)\n",
+		len(trace), compute, *ionodes, humanStripe(*stripe))
+	fmt.Printf("makespan: %.2f s, skipped: %d\n\n", res.Makespan.Seconds(), res.Skipped)
+	fmt.Println(res.Summary.Render("Replayed operation summary"))
+	_ = sim.Second
+}
+
+func humanStripe(n int64) string {
+	if n%1024 == 0 {
+		return fmt.Sprintf("%dKB", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}

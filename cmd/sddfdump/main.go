@@ -1,0 +1,67 @@
+// Command sddfdump inspects and converts SDDF trace files produced by
+// iochar: it prints a summary, dumps events, or converts between the binary
+// and ASCII encodings.
+//
+// Usage:
+//
+//	sddfdump [-summary] [-events N] [-convert OUT -ascii] FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/sddf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sddfdump: ")
+	summary := flag.Bool("summary", true, "print an operation summary")
+	events := flag.Int("events", 0, "print the first N events")
+	convert := flag.String("convert", "", "re-encode the trace to this file")
+	ascii := flag.Bool("ascii", false, "use ASCII SDDF for -convert output")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: sddfdump [flags] FILE")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := sddf.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d events\n\n", flag.Arg(0), len(trace))
+
+	if *summary {
+		fmt.Println(analysis.Summarize(trace).Render("Operation summary"))
+		fmt.Println(analysis.Sizes(trace).Render("Request sizes"))
+	}
+	for i := 0; i < *events && i < len(trace); i++ {
+		e := trace[i]
+		fmt.Printf("%10.6fs node=%-3d %-10s file=%-3d off=%-10d bytes=%-8d dur=%.6fs mode=%s phase=%q\n",
+			e.Start.Seconds(), e.Node, e.Op, e.File, e.Offset, e.Bytes,
+			e.Duration().Seconds(), e.Mode, e.Phase)
+	}
+
+	if *convert != "" {
+		out, err := os.Create(*convert)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sddf.WriteTrace(out, trace, *ascii); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("converted to %s (ascii=%v)\n", *convert, *ascii)
+	}
+}

@@ -1,0 +1,43 @@
+// Quickstart: run the ESCAT electron-scattering skeleton at reduced scale
+// and print its operation-summary table — the minimal end-to-end use of the
+// public iochar API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	iochar "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small, seconds-scale study; swap in PaperStudy for the full
+	// 128-node configuration from the paper.
+	study := iochar.SmallStudy(iochar.ESCAT)
+
+	report, err := iochar.Run(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ESCAT ran for %.2f simulated seconds and issued %d I/O operations.\n\n",
+		report.Wall.Seconds(), report.Summary.Total.Count)
+	for _, table := range report.Tables() {
+		fmt.Println(table)
+	}
+	fmt.Println("Phases captured:", phaseList(report))
+}
+
+func phaseList(r *iochar.Report) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range r.Events {
+		if !seen[e.Phase] {
+			seen[e.Phase] = true
+			out = append(out, e.Phase)
+		}
+	}
+	return out
+}

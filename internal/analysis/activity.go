@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/iotrace"
+	"repro/internal/pablo"
+)
+
+// RenderActivity draws the Pablo time-window reduction as an intensity
+// strip: one column per window, scaled by the bytes moved in it, with 'R'
+// marking read-dominated windows, 'W' write-dominated ones, and '.' idle
+// windows. It is the textual analogue of sweeping a cursor across the
+// paper's timeline figures.
+func RenderActivity(w *pablo.WindowReducer, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	windows := w.Windows()
+	var b strings.Builder
+	fmt.Fprintf(&b, "I/O activity by %s window:\n", w.Width())
+	if len(windows) == 0 {
+		b.WriteString("(no activity)\n")
+		return b.String()
+	}
+	last := windows[len(windows)-1].Index
+	// Bucket windows onto the strip.
+	type cell struct{ read, write int64 }
+	cells := make([]cell, width)
+	perCell := float64(last+1) / float64(width)
+	if perCell < 1 {
+		perCell = 1
+	}
+	for _, win := range windows {
+		idx := int(float64(win.Index) / perCell)
+		if idx >= width {
+			idx = width - 1
+		}
+		cells[idx].read += win.Bytes[iotrace.OpRead] + win.Bytes[iotrace.OpAsyncRead]
+		cells[idx].write += win.Bytes[iotrace.OpWrite]
+	}
+	var peak int64
+	for _, c := range cells {
+		if t := c.read + c.write; t > peak {
+			peak = t
+		}
+	}
+	// Intensity rows: 4 levels.
+	const levels = 4
+	for lvl := levels; lvl >= 1; lvl-- {
+		b.WriteString("  |")
+		for _, c := range cells {
+			total := c.read + c.write
+			if peak > 0 && total*levels >= int64(lvl)*peak && total > 0 {
+				if c.read >= c.write {
+					b.WriteByte('R')
+				} else {
+					b.WriteByte('W')
+				}
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("  +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	end := float64(last+1) * w.Width().Seconds()
+	fmt.Fprintf(&b, "   0s%*s\n", width-1, fmt.Sprintf("%.0fs", end))
+	fmt.Fprintf(&b, "   R = read-dominated, W = write-dominated; peak window %s\n", HumanBytes(peak))
+	return b.String()
+}

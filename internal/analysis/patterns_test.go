@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+)
+
+func mkEvent(op iotrace.Op, file iotrace.FileID, node int, off, n int64, at sim.Time) iotrace.Event {
+	return iotrace.Event{Op: op, File: file, Node: node, Offset: off, Bytes: n, Start: at, End: at + 1}
+}
+
+func findStream(t *testing.T, ps []StreamPattern, file iotrace.FileID, node int) StreamPattern {
+	t.Helper()
+	for _, p := range ps {
+		if p.File == file && p.Node == node {
+			return p
+		}
+	}
+	t.Fatalf("stream (%d,%d) missing", file, node)
+	return StreamPattern{}
+}
+
+func TestPatternsSequentialStream(t *testing.T) {
+	var events []iotrace.Event
+	for i := int64(0); i < 10; i++ {
+		events = append(events, mkEvent(iotrace.OpRead, 1, 0, i*100, 100, sim.Time(i)*sim.Second))
+	}
+	ps := Patterns(events)
+	p := findStream(t, ps, 1, 0)
+	if p.Accesses != 10 || p.Sequential != 9 {
+		t.Fatalf("pattern %+v", p)
+	}
+	if p.SequentialFraction() != 1.0 {
+		t.Fatalf("seq fraction %f", p.SequentialFraction())
+	}
+	if !p.FixedSize || p.Size != 100 {
+		t.Fatalf("size detection %+v", p)
+	}
+	// Interarrival is a steady 1 s.
+	if p.Interarrival.Mean() != 1 || p.Interarrival.StdDev() != 0 {
+		t.Fatalf("interarrival %+v", p.Interarrival)
+	}
+}
+
+func TestPatternsConsecutiveRewrite(t *testing.T) {
+	// Repeated in-place overwrites: consecutive but not sequential.
+	var events []iotrace.Event
+	for i := 0; i < 5; i++ {
+		events = append(events, mkEvent(iotrace.OpWrite, 2, 1, 0, 512, sim.Time(i)*sim.Second))
+	}
+	p := findStream(t, Patterns(events), 2, 1)
+	if p.Sequential != 0 || p.Consecutive != 4 {
+		t.Fatalf("pattern %+v", p)
+	}
+}
+
+func TestPatternsMixedSizes(t *testing.T) {
+	events := []iotrace.Event{
+		mkEvent(iotrace.OpRead, 3, 0, 0, 100, 0),
+		mkEvent(iotrace.OpRead, 3, 0, 100, 100, sim.Second),
+		mkEvent(iotrace.OpRead, 3, 0, 200, 900, 2*sim.Second),
+	}
+	p := findStream(t, Patterns(events), 3, 0)
+	if p.FixedSize {
+		t.Fatal("mixed sizes detected as fixed")
+	}
+	if p.Size != 100 { // most common
+		t.Fatalf("dominant size %d", p.Size)
+	}
+}
+
+func TestPatternsIgnoreNonDataOps(t *testing.T) {
+	events := []iotrace.Event{
+		mkEvent(iotrace.OpOpen, 1, 0, 0, 0, 0),
+		mkEvent(iotrace.OpSeek, 1, 0, 500, 500, sim.Second),
+	}
+	if got := Patterns(events); len(got) != 0 {
+		t.Fatalf("non-data ops produced streams: %v", got)
+	}
+}
+
+// Property: Sequential <= Consecutive <= Accesses-1 for every stream.
+func TestPatternsOrderingProperty(t *testing.T) {
+	prop := func(offs []uint16) bool {
+		var events []iotrace.Event
+		for i, o := range offs {
+			events = append(events, mkEvent(iotrace.OpRead, 1, 0, int64(o), 64, sim.Time(i)*sim.Second))
+		}
+		for _, p := range Patterns(events) {
+			if p.Accesses <= 1 {
+				continue
+			}
+			if p.Sequential > p.Consecutive || p.Consecutive > p.Accesses-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizePatterns(t *testing.T) {
+	var events []iotrace.Event
+	// Stream A: perfectly sequential fixed-size.
+	for i := int64(0); i < 8; i++ {
+		events = append(events, mkEvent(iotrace.OpRead, 1, 0, i*100, 100, sim.Time(i)*sim.Second))
+	}
+	// Stream B: random variable-size.
+	for i, off := range []int64{900, 5, 777, 123} {
+		events = append(events, mkEvent(iotrace.OpRead, 2, 0, off, int64(10+i), sim.Time(i)*sim.Second))
+	}
+	s := SummarizePatterns(Patterns(events))
+	if s.Streams != 2 || s.SequentialStreams != 1 || s.FixedSizeStreams != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	// 7 of 10 transitions sequential.
+	if s.WeightedSequential < 0.69 || s.WeightedSequential > 0.71 {
+		t.Fatalf("weighted %f", s.WeightedSequential)
+	}
+}
+
+func TestCyclesBracketSessions(t *testing.T) {
+	events := []iotrace.Event{
+		mkEvent(iotrace.OpOpen, 1, 0, 0, 0, 0),
+		mkEvent(iotrace.OpWrite, 1, 0, 0, 100, sim.Second),
+		mkEvent(iotrace.OpClose, 1, 0, 0, 0, 2*sim.Second),
+		// Second session on the same file.
+		mkEvent(iotrace.OpOpen, 1, 0, 0, 0, 10*sim.Second),
+		mkEvent(iotrace.OpRead, 1, 0, 0, 100, 11*sim.Second),
+		mkEvent(iotrace.OpRead, 1, 0, 100, 100, 12*sim.Second),
+		mkEvent(iotrace.OpClose, 1, 0, 0, 0, 13*sim.Second),
+		// A session left open (not emitted).
+		mkEvent(iotrace.OpOpen, 2, 0, 0, 0, 20*sim.Second),
+	}
+	cycles := Cycles(events)
+	if len(cycles) != 2 {
+		t.Fatalf("cycles %v", cycles)
+	}
+	if cycles[0].Accesses != 1 || cycles[0].Bytes != 100 {
+		t.Fatalf("cycle 0 %+v", cycles[0])
+	}
+	if cycles[1].Accesses != 2 || cycles[1].OpenAt != 10*sim.Second {
+		t.Fatalf("cycle 1 %+v", cycles[1])
+	}
+}
+
+func TestCyclesNestedOpens(t *testing.T) {
+	// Two nodes hold the file open with overlap: one bracketing cycle.
+	events := []iotrace.Event{
+		mkEvent(iotrace.OpOpen, 1, 0, 0, 0, 0),
+		mkEvent(iotrace.OpOpen, 1, 1, 0, 0, sim.Second),
+		mkEvent(iotrace.OpWrite, 1, 0, 0, 50, 2*sim.Second),
+		mkEvent(iotrace.OpClose, 1, 0, 0, 0, 3*sim.Second),
+		mkEvent(iotrace.OpClose, 1, 1, 0, 0, 9*sim.Second),
+	}
+	cycles := Cycles(events)
+	if len(cycles) != 1 {
+		t.Fatalf("cycles %v", cycles)
+	}
+	if cycles[0].CloseAt != 9*sim.Second+1 {
+		t.Fatalf("close at %v", cycles[0].CloseAt)
+	}
+}
+
+func TestCyclesUnbalancedCloseIgnored(t *testing.T) {
+	events := []iotrace.Event{
+		mkEvent(iotrace.OpClose, 1, 0, 0, 0, 0), // sliced trace
+		mkEvent(iotrace.OpOpen, 1, 0, 0, 0, sim.Second),
+		mkEvent(iotrace.OpClose, 1, 0, 0, 0, 2*sim.Second),
+	}
+	if got := Cycles(events); len(got) != 1 {
+		t.Fatalf("cycles %v", got)
+	}
+}
+
+func TestRenderPatternSummary(t *testing.T) {
+	events := []iotrace.Event{
+		mkEvent(iotrace.OpOpen, 1, 0, 0, 0, 0),
+		mkEvent(iotrace.OpRead, 1, 0, 0, 100, sim.Second),
+		mkEvent(iotrace.OpRead, 1, 0, 100, 100, 2*sim.Second),
+		mkEvent(iotrace.OpClose, 1, 0, 0, 0, 3*sim.Second),
+	}
+	out := RenderPatternSummary(events)
+	for _, want := range []string{"streams: 1", "cycles: 1", "sequential"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

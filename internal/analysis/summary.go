@@ -1,0 +1,181 @@
+// Package analysis computes the paper's tables and figures from captured I/O
+// event traces: operation summaries (Tables 1, 3, 5), request-size bucket
+// tables (Tables 2, 4, 6), operation timelines (Figures 2-4, 6-7, 9-14),
+// file-access timelines (Figures 5, 8, 15-17), plus the clustering and
+// throughput analyses quoted in the running text.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// OpRow is one row of an operation-summary table.
+type OpRow struct {
+	Label     string
+	Count     int64
+	Volume    int64 // bytes moved (reads/writes) or distance (seeks)
+	HasVolume bool
+	NodeTime  sim.Time // durations summed over all nodes
+	Pct       float64  // share of total I/O node time, percent
+}
+
+// OpSummary is a full operation-summary table: the "All I/O" totals row plus
+// one row per operation class present in the trace, in the paper's row order.
+type OpSummary struct {
+	Total OpRow
+	Rows  []OpRow
+}
+
+// paperRowOrder is the order the paper lists operation rows in.
+var paperRowOrder = []iotrace.Op{
+	iotrace.OpRead,
+	iotrace.OpAsyncRead,
+	iotrace.OpIOWait,
+	iotrace.OpWrite,
+	iotrace.OpSeek,
+	iotrace.OpOpen,
+	iotrace.OpClose,
+	iotrace.OpLsize,
+	iotrace.OpFlush,
+}
+
+// Summarize computes an operation summary over a trace. Node time is the sum
+// of per-operation durations across all nodes, exactly as the paper's "Node
+// Time" columns (which exceed wall-clock time under parallel I/O).
+func Summarize(events []iotrace.Event) OpSummary {
+	var count [iotrace.NumOps]int64
+	var volume [iotrace.NumOps]int64
+	var dur [iotrace.NumOps]sim.Time
+	for _, e := range events {
+		count[e.Op]++
+		dur[e.Op] += e.Duration()
+		if e.Op.Moves() || e.Op == iotrace.OpSeek {
+			volume[e.Op] += e.Bytes
+		}
+	}
+	var s OpSummary
+	var totalTime sim.Time
+	var totalCount, totalVol int64
+	for _, op := range paperRowOrder {
+		totalTime += dur[op]
+		totalCount += count[op]
+		if op.Moves() {
+			// The paper's "All I/O" volume sums data moved; seek rows list
+			// distance but it does not contribute to the total.
+			totalVol += volume[op]
+		}
+	}
+	for _, op := range paperRowOrder {
+		if count[op] == 0 {
+			continue
+		}
+		pct := 0.0
+		if totalTime > 0 {
+			pct = 100 * float64(dur[op]) / float64(totalTime)
+		}
+		s.Rows = append(s.Rows, OpRow{
+			Label:     op.String(),
+			Count:     count[op],
+			Volume:    volume[op],
+			HasVolume: op.Moves() || op == iotrace.OpSeek,
+			NodeTime:  dur[op],
+			Pct:       pct,
+		})
+	}
+	s.Total = OpRow{
+		Label: "All I/O", Count: totalCount, Volume: totalVol, HasVolume: true,
+		NodeTime: totalTime, Pct: 100,
+	}
+	return s
+}
+
+// Row returns the row with the given label (e.g. "Read"), or nil.
+func (s OpSummary) Row(label string) *OpRow {
+	for i := range s.Rows {
+		if s.Rows[i].Label == label {
+			return &s.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Render formats the summary in the paper's table layout.
+func (s OpSummary) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %12s %16s %14s %10s\n", "Operation", "Count", "Volume (Bytes)", "Time (s)", "% I/O Time")
+	writeRow := func(r OpRow) {
+		vol := "-"
+		if r.HasVolume {
+			vol = fmt.Sprintf("%d", r.Volume)
+		}
+		fmt.Fprintf(&b, "%-12s %12d %16s %14.2f %10.2f\n",
+			r.Label, r.Count, vol, r.NodeTime.Seconds(), r.Pct)
+	}
+	writeRow(s.Total)
+	for _, r := range s.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SizeTable buckets read and write request sizes into the paper's four size
+// classes. As in the paper's tables, asynchronous reads count as reads.
+type SizeTable struct {
+	Read  *stats.Histogram
+	Write *stats.Histogram
+}
+
+// Sizes computes the request-size table for a trace.
+func Sizes(events []iotrace.Event) SizeTable {
+	t := SizeTable{Read: stats.NewPaperHistogram(), Write: stats.NewPaperHistogram()}
+	for _, e := range events {
+		switch e.Op {
+		case iotrace.OpRead, iotrace.OpAsyncRead:
+			t.Read.Add(e.Bytes)
+		case iotrace.OpWrite:
+			t.Write.Add(e.Bytes)
+		}
+	}
+	return t
+}
+
+// Render formats the size table in the paper's layout.
+func (t SizeTable) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s", "Operation")
+	for _, l := range stats.PaperBucketLabels {
+		fmt.Fprintf(&b, " %10s", l)
+	}
+	b.WriteByte('\n')
+	row := func(name string, h *stats.Histogram) {
+		fmt.Fprintf(&b, "%-10s", name)
+		for _, c := range h.Buckets() {
+			fmt.Fprintf(&b, " %10d", c)
+		}
+		b.WriteByte('\n')
+	}
+	row("Read", t.Read)
+	row("Write", t.Write)
+	return b.String()
+}
+
+// RequestStats returns descriptive statistics of request sizes and durations
+// for one operation class — the paper's "general input/output statistics
+// computed off-line from event traces" (§3.1).
+func RequestStats(events []iotrace.Event, op iotrace.Op) (size, duration stats.Summary) {
+	for _, e := range events {
+		if e.Op != op {
+			continue
+		}
+		size.Add(float64(e.Bytes))
+		duration.Add(e.Duration().Seconds())
+	}
+	return size, duration
+}

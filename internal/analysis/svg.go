@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/iotrace"
+)
+
+// SVGOptions configures the SVG scatter renderer.
+type SVGOptions struct {
+	Title  string
+	Width  int  // pixel width (default 720)
+	Height int  // pixel height (default 420)
+	LogY   bool // logarithmic y axis (request sizes)
+	YLabel string
+	XLabel string
+}
+
+// RenderSVG draws a timeline as a standalone SVG document in the visual
+// vocabulary of the paper's figures: diamonds for reads, crosses for writes,
+// time on the x axis. The output is self-contained (no external assets) and
+// renders in any browser.
+func RenderSVG(pts []Point, opts SVGOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 720
+	}
+	if opts.Height <= 0 {
+		opts.Height = 420
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 50
+	)
+	plotW := float64(opts.Width - marginL - marginR)
+	plotH := float64(opts.Height - marginT - marginB)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, opts.Height)
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+			marginL, escapeXML(opts.Title))
+	}
+	// Plot frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="black"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+
+	if len(pts) == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13">(no data)</text>`+"\n",
+			marginL+10, marginT+30)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	tMin, tMax := pts[0].T, pts[0].T
+	yMin, yMax := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		if p.T < tMin {
+			tMin = p.T
+		}
+		if p.T > tMax {
+			tMax = p.T
+		}
+		if p.Y < yMin {
+			yMin = p.Y
+		}
+		if p.Y > yMax {
+			yMax = p.Y
+		}
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	yPos := func(y int64) float64 {
+		var frac float64
+		if opts.LogY {
+			lo := math.Log10(math.Max(1, float64(yMin)))
+			hi := math.Log10(math.Max(1, float64(yMax)))
+			if hi > lo {
+				frac = (math.Log10(math.Max(1, float64(y))) - lo) / (hi - lo)
+			}
+		} else if yMax > yMin {
+			frac = float64(y-yMin) / float64(yMax-yMin)
+		}
+		return float64(marginT) + plotH*(1-frac)
+	}
+	xPos := func(t int64) float64 {
+		return float64(marginL) + plotW*float64(t-int64(tMin))/float64(tMax-tMin)
+	}
+
+	// Axis labels: min/mid/max ticks.
+	tick := func(x, y float64, label, anchor string) {
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="11" text-anchor="%s">%s</text>`+"\n",
+			x, y, anchor, escapeXML(label))
+	}
+	tick(float64(marginL), float64(opts.Height-marginB+16), fmt.Sprintf("%.0fs", tMin.Seconds()), "middle")
+	tick(float64(marginL)+plotW, float64(opts.Height-marginB+16), fmt.Sprintf("%.0fs", tMax.Seconds()), "middle")
+	tick(float64(marginL)-6, float64(marginT)+plotH, humanBytes(float64(yMin)), "end")
+	tick(float64(marginL)-6, float64(marginT)+10, humanBytes(float64(yMax)), "end")
+	if opts.XLabel != "" {
+		tick(float64(marginL)+plotW/2, float64(opts.Height-marginB+32), opts.XLabel, "middle")
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.0f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.0f)">%s</text>`+"\n",
+			float64(marginT)+plotH/2, float64(marginT)+plotH/2, escapeXML(opts.YLabel))
+	}
+
+	// Marks: diamonds for reads, crosses for writes (the paper's legend).
+	for _, p := range pts {
+		x, y := xPos(int64(p.T)), yPos(p.Y)
+		switch p.Op {
+		case iotrace.OpWrite:
+			fmt.Fprintf(&b, `<path d="M%.1f %.1f l3 3 m0 -3 l-3 3" stroke="#c0392b" stroke-width="1" transform="translate(-1.5,-1.5)"/>`+"\n", x, y)
+		default: // reads and async reads
+			fmt.Fprintf(&b, `<path d="M%.1f %.1f m0 -3 l3 3 l-3 3 l-3 -3 z" fill="none" stroke="#2c5f8a" stroke-width="1"/>`+"\n", x, y)
+		}
+	}
+
+	// Legend.
+	lx := float64(marginL) + 6
+	fmt.Fprintf(&b, `<path d="M%.1f %.1f m0 -3 l3 3 l-3 3 l-3 -3 z" fill="none" stroke="#2c5f8a"/>`+"\n", lx, float64(marginT)-8)
+	tick(lx+8, float64(marginT)-4, "read", "start")
+	fmt.Fprintf(&b, `<path d="M%.1f %.1f l3 3 m0 -3 l-3 3" stroke="#c0392b" transform="translate(-1.5,-1.5)"/>`+"\n", lx+50, float64(marginT)-8)
+	tick(lx+58, float64(marginT)-4, "write", "start")
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// escapeXML escapes the five XML special characters.
+func escapeXML(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,248 @@
+// Package core is the public face of the reproduction: it composes a
+// simulated Paragon, one of the paper's three application skeletons, the
+// Pablo instrumentation, optional PPFS policies, and the analysis tools into
+// a single Run call that yields every table and figure of the paper for that
+// application.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/apps/escat"
+	"repro/internal/apps/htf"
+	"repro/internal/apps/render"
+	"repro/internal/iotrace"
+	"repro/internal/pablo"
+	"repro/internal/ppfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// AppID names one of the characterized applications.
+type AppID string
+
+// The three applications of the paper's initial SIO code suite.
+const (
+	ESCAT  AppID = "escat"
+	RENDER AppID = "render"
+	HTF    AppID = "htf"
+)
+
+// Apps lists the available applications.
+func Apps() []AppID { return []AppID{ESCAT, RENDER, HTF} }
+
+// Study describes one characterization run.
+type Study struct {
+	App     AppID
+	Machine workload.MachineConfig
+
+	// Policy, when non-nil, routes the application through a PPFS layer
+	// with these policies (the §5.2 experiment); nil runs on raw PFS.
+	Policy *ppfs.Policy
+
+	// KeepTrace buffers the full event trace (needed for figures); when
+	// false only real-time reductions run (Pablo's low-perturbation mode).
+	KeepTrace bool
+
+	// WindowWidth sets the time-window reduction granularity (default 10s).
+	WindowWidth sim.Time
+
+	// Optional per-application overrides; nil selects the paper-scale
+	// defaults.
+	ESCATConfig  *escat.Config
+	RENDERConfig *render.Config
+	HTFConfig    *htf.Config
+}
+
+// PaperStudy returns the study reproducing the paper's traced run of app.
+func PaperStudy(app AppID) Study {
+	s := Study{App: app, KeepTrace: true, WindowWidth: 10 * sim.Second}
+	switch app {
+	case ESCAT:
+		s.Machine = escat.MachineConfig()
+	case RENDER:
+		s.Machine = render.MachineConfig()
+	case HTF:
+		s.Machine = htf.MachineConfig()
+	}
+	return s
+}
+
+// SmallStudy returns a fast, reduced-scale study of app (for tests and the
+// quickstart example).
+func SmallStudy(app AppID) Study {
+	s := PaperStudy(app)
+	switch app {
+	case ESCAT:
+		cfg := escat.SmallConfig()
+		s.ESCATConfig = &cfg
+		s.Machine.ComputeNodes = cfg.Nodes
+	case RENDER:
+		cfg := render.SmallConfig()
+		s.RENDERConfig = &cfg
+		s.Machine.ComputeNodes = cfg.RenderNodes + 1
+	case HTF:
+		cfg := htf.SmallConfig()
+		s.HTFConfig = &cfg
+		s.Machine.ComputeNodes = cfg.Nodes
+	}
+	return s
+}
+
+// Report is the outcome of a study: the captured traces plus the derived
+// tables and reductions.
+type Report struct {
+	App  AppID
+	Wall sim.Time
+
+	// Events is the application-visible trace; Physical differs from it
+	// only when a PPFS policy layer was interposed.
+	Events   []iotrace.Event
+	Physical []iotrace.Event
+
+	Summary analysis.OpSummary
+	Sizes   analysis.SizeTable
+
+	Lifetime *pablo.LifetimeReducer
+	Windows  *pablo.WindowReducer
+
+	// PolicyStats is non-nil when the study ran through PPFS.
+	PolicyStats *ppfs.Stats
+}
+
+// appErr lets Run surface failures collected inside node programs.
+type appErr interface{ Err() error }
+
+// Run executes the study to completion.
+func Run(s Study) (*Report, error) {
+	if s.Machine.ComputeNodes == 0 {
+		s = mergeDefaults(s)
+	}
+	m, err := workload.NewMachine(s.Machine)
+	if err != nil {
+		return nil, err
+	}
+
+	if s.WindowWidth <= 0 {
+		s.WindowWidth = 10 * sim.Second
+	}
+	tracer := pablo.NewTracer(s.KeepTrace)
+	lifetime := pablo.NewLifetimeReducer()
+	windows := pablo.NewWindowReducer(s.WindowWidth)
+	tracer.Attach(lifetime)
+	tracer.Attach(windows)
+
+	var fs workload.FS
+	var physTracer *pablo.Tracer
+	var layer *ppfs.FileSystem
+	if s.Policy != nil {
+		physTracer = pablo.NewTracer(s.KeepTrace)
+		m.PFS.SetRecorder(physTracer)
+		layer, err = ppfs.New(m.Eng, m.PFS, *s.Policy)
+		if err != nil {
+			return nil, err
+		}
+		layer.SetRecorder(tracer)
+		fs = layer
+	} else {
+		m.PFS.SetRecorder(tracer)
+		fs = workload.WrapPFS(m.PFS)
+	}
+
+	app, err := buildApp(s)
+	if err != nil {
+		return nil, err
+	}
+	runErr := workload.Run(m, fs, app)
+	if ae, ok := app.(appErr); ok {
+		if err := ae.Err(); err != nil {
+			// Node-program failures are the root cause; a deadlock from the
+			// abandoned barrier group is their symptom.
+			return nil, fmt.Errorf("%s: %w", s.App, err)
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	r := &Report{
+		App:      s.App,
+		Wall:     m.Eng.Now(),
+		Events:   tracer.Events(),
+		Summary:  analysis.Summarize(tracer.Events()),
+		Sizes:    analysis.Sizes(tracer.Events()),
+		Lifetime: lifetime,
+		Windows:  windows,
+	}
+	if physTracer != nil {
+		r.Physical = physTracer.Events()
+	} else {
+		r.Physical = r.Events
+	}
+	if layer != nil {
+		st := layer.Stats()
+		r.PolicyStats = &st
+	}
+	return r, nil
+}
+
+func mergeDefaults(s Study) Study {
+	d := PaperStudy(s.App)
+	d.Policy = s.Policy
+	d.KeepTrace = s.KeepTrace
+	if s.WindowWidth > 0 {
+		d.WindowWidth = s.WindowWidth
+	}
+	d.ESCATConfig, d.RENDERConfig, d.HTFConfig = s.ESCATConfig, s.RENDERConfig, s.HTFConfig
+	return d
+}
+
+func buildApp(s Study) (workload.App, error) {
+	switch s.App {
+	case ESCAT:
+		cfg := escat.DefaultConfig()
+		if s.ESCATConfig != nil {
+			cfg = *s.ESCATConfig
+		}
+		return escat.New(cfg)
+	case RENDER:
+		cfg := render.DefaultConfig()
+		if s.RENDERConfig != nil {
+			cfg = *s.RENDERConfig
+		}
+		return render.New(cfg)
+	case HTF:
+		cfg := htf.DefaultConfig()
+		if s.HTFConfig != nil {
+			cfg = *s.HTFConfig
+		}
+		return htf.New(cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown app %q", s.App)
+	}
+}
+
+// PhaseSummary computes the operation summary for one application phase
+// (HTF's per-program tables are phase summaries).
+func (r *Report) PhaseSummary(phase string) analysis.OpSummary {
+	return analysis.Summarize(analysis.FilterPhase(r.Events, phase))
+}
+
+// PhaseSizes computes the size-bucket table for one phase.
+func (r *Report) PhaseSizes(phase string) analysis.SizeTable {
+	return analysis.Sizes(analysis.FilterPhase(r.Events, phase))
+}
+
+// Purposes classifies every file of the run into the §2 taxonomy
+// (compulsory input/output, checkpoint, out-of-core).
+func (r *Report) Purposes() []analysis.FilePurpose {
+	return analysis.ClassifyPurposes(r.Events)
+}
+
+// PatternSummary aggregates the run's per-stream access patterns — the §10
+// conclusions (sequentiality, fixed request sizes, open-access-close
+// cycles).
+func (r *Report) PatternSummary() analysis.PatternSummary {
+	return analysis.SummarizePatterns(analysis.Patterns(r.Events))
+}

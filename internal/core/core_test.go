@@ -1,0 +1,389 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/apps/escat"
+	"repro/internal/ppfs"
+	"repro/internal/sim"
+)
+
+func TestSmallStudiesRunForAllApps(t *testing.T) {
+	for _, app := range Apps() {
+		app := app
+		t.Run(string(app), func(t *testing.T) {
+			r, err := Run(SmallStudy(app))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.App != app || r.Wall <= 0 || len(r.Events) == 0 {
+				t.Fatalf("report %+v", r)
+			}
+			if r.Summary.Total.Count == 0 {
+				t.Fatal("empty summary")
+			}
+			if len(r.Tables()) == 0 {
+				t.Fatal("no tables")
+			}
+			if len(r.Figures()) == 0 {
+				t.Fatal("no figures")
+			}
+		})
+	}
+}
+
+func TestUnknownAppRejected(t *testing.T) {
+	if _, err := Run(Study{App: "bogus", Machine: PaperStudy(ESCAT).Machine}); err == nil {
+		t.Fatal("bogus app accepted")
+	}
+}
+
+func TestZeroMachineTakesDefaults(t *testing.T) {
+	cfg := escat.SmallConfig()
+	r, err := Run(Study{App: ESCAT, ESCATConfig: &cfg, KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Events) == 0 {
+		t.Fatal("no events")
+	}
+}
+
+func TestFigureLookup(t *testing.T) {
+	r, err := Run(SmallStudy(ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := r.Figure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "figure-04" || len(fig.Points) == 0 {
+		t.Fatalf("figure %+v", fig)
+	}
+	if _, err := r.Figure(6); err == nil {
+		t.Fatal("ESCAT produced RENDER's figure 6")
+	}
+}
+
+func TestHTFFigureSetComplete(t *testing.T) {
+	r, err := Run(SmallStudy(HTF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := r.Figures()
+	if len(figs) != 9 {
+		t.Fatalf("HTF figures %d, want 9 (9-17)", len(figs))
+	}
+	if figs[0].ID != "figure-09" || figs[8].ID != "figure-17" {
+		t.Fatalf("figure range %s..%s", figs[0].ID, figs[8].ID)
+	}
+}
+
+func TestPolicyStudyProducesBothStreams(t *testing.T) {
+	pol := ppfs.DefaultPolicy()
+	s := SmallStudy(ESCAT)
+	s.Policy = &pol
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PolicyStats == nil {
+		t.Fatal("no policy stats")
+	}
+	if len(r.Physical) == 0 || len(r.Events) == 0 {
+		t.Fatal("missing a stream")
+	}
+	if &r.Physical[0] == &r.Events[0] {
+		t.Fatal("physical stream aliases app stream under PPFS")
+	}
+	// Write-behind absorbed the quadrature writes.
+	if r.PolicyStats.BufferedWrites == 0 {
+		t.Fatalf("stats %+v", *r.PolicyStats)
+	}
+}
+
+func TestAblationWriteBehindShrinksAppVisibleWriteTime(t *testing.T) {
+	base, err := Run(SmallStudy(ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := ppfs.DefaultPolicy()
+	s := SmallStudy(ESCAT)
+	s.Policy = &pol
+	layered, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := base.Summary.Row("Write").NodeTime
+	lw := layered.Summary.Row("Write").NodeTime
+	if lw*5 > bw {
+		t.Fatalf("PPFS write time %v not far below PFS %v", lw, bw)
+	}
+	// And seeks became client-local.
+	bs := base.Summary.Row("Seek").NodeTime
+	ls := layered.Summary.Row("Seek").NodeTime
+	if ls*5 > bs {
+		t.Fatalf("PPFS seek time %v not far below PFS %v", ls, bs)
+	}
+}
+
+func TestLifetimeReductionAgreesWithTrace(t *testing.T) {
+	r, err := Run(SmallStudy(ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of per-file op counts equals the trace totals.
+	var reads, writes int64
+	for _, f := range r.Lifetime.Files() {
+		reads += f.Count[2-2] // OpRead == 0
+		writes += f.Count[1]  // OpWrite == 1
+	}
+	if reads != r.Summary.Row("Read").Count {
+		t.Fatalf("lifetime reads %d vs summary %d", reads, r.Summary.Row("Read").Count)
+	}
+	if writes != r.Summary.Row("Write").Count {
+		t.Fatalf("lifetime writes %d vs summary %d", writes, r.Summary.Row("Write").Count)
+	}
+}
+
+func TestWindowReductionCoversWholeRun(t *testing.T) {
+	s := SmallStudy(ESCAT)
+	s.WindowWidth = 100 * sim.Millisecond
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, w := range r.Windows.Windows() {
+		for _, c := range w.Count {
+			total += c
+		}
+	}
+	if total != r.Summary.Total.Count {
+		t.Fatalf("windows hold %d events, trace %d", total, r.Summary.Total.Count)
+	}
+}
+
+func TestCrossoverModelBreakEven(t *testing.T) {
+	m := DefaultCrossoverModel()
+	be := m.BreakEvenRate()
+	// §7.2: "approximately 5-10 Mbytes/second per node".
+	if be < 5e6 || be > 10e6 {
+		t.Fatalf("break-even %f MB/s, paper 5-10", be/1e6)
+	}
+	pts := m.Sweep([]float64{1e6, 3e6, be * 1.01, 20e6})
+	if pts[0].ReadWins || pts[1].ReadWins {
+		t.Fatal("slow I/O should lose to recomputation")
+	}
+	if !pts[2].ReadWins || !pts[3].ReadWins {
+		t.Fatal("fast I/O should beat recomputation")
+	}
+	out := RenderSweep(pts)
+	if !strings.Contains(out, "recompute") || !strings.Contains(out, "read") {
+		t.Fatalf("sweep render:\n%s", out)
+	}
+	if math.Abs(m.RecomputeTime()-1e-5) > 1e-9 {
+		t.Fatalf("recompute time %g, want 10 us", m.RecomputeTime())
+	}
+}
+
+func TestCompareTablesRender(t *testing.T) {
+	r, err := Run(SmallStudy(ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := PaperTables()[0]
+	out := CompareTable(pt, r)
+	if !strings.Contains(out, "paper vs measured") || !strings.Contains(out, "All I/O") {
+		t.Fatalf("compare table:\n%s", out)
+	}
+	st := PaperSizeTables()[0]
+	sout := CompareSizeTable(st, r)
+	if !strings.Contains(sout, "Read") || !strings.Contains(sout, "measured") {
+		t.Fatalf("compare sizes:\n%s", sout)
+	}
+}
+
+func TestPaperExpectationsConsistency(t *testing.T) {
+	// The hard-coded paper tables must at least be self-describing: every
+	// app referenced exists and rows are non-empty.
+	apps := map[AppID]bool{ESCAT: true, RENDER: true, HTF: true}
+	for _, pt := range PaperTables() {
+		if !apps[pt.App] {
+			t.Errorf("%s references unknown app %q", pt.Name, pt.App)
+		}
+		if len(pt.Rows) == 0 || pt.Rows[0].Op != "All I/O" {
+			t.Errorf("%s rows malformed", pt.Name)
+		}
+	}
+	if len(PaperSizeTables()) != 5 {
+		t.Errorf("size tables %d, want 5", len(PaperSizeTables()))
+	}
+}
+
+func TestWriteBurstTrendSmall(t *testing.T) {
+	r, err := Run(SmallStudy(ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the reduced scale the compute/burst ratio is too tight for exact
+	// burst counting (the paper-scale assertion lives in the escat package
+	// tests); here just check the helper clusters and orders sanely.
+	early, late, bursts := r.WriteBurstTrend(50 * sim.Millisecond)
+	iters := escat.SmallConfig().Iterations
+	if bursts < iters || bursts > 3*iters {
+		t.Fatalf("bursts %d, want within [%d, %d]", bursts, iters, 3*iters)
+	}
+	if early <= 0 || late <= 0 {
+		t.Fatalf("spacings %v %v", early, late)
+	}
+}
+
+func TestRenderThroughputHelper(t *testing.T) {
+	r, err := Run(SmallStudy(RENDER))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput := r.InitReadThroughput(); tput <= 0 {
+		t.Fatalf("throughput %f", tput)
+	}
+	// The helper returns zero for apps without an init read stream.
+	e, _ := Run(SmallStudy(ESCAT))
+	if e.InitReadThroughput() != 0 {
+		t.Fatal("ESCAT reported RENDER throughput")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, err := Run(SmallStudy(HTF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(SmallStudy(HTF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wall != b.Wall || len(a.Events) != len(b.Events) {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", a.Wall, len(a.Events), b.Wall, len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+var _ = analysis.Summarize // keep import if helpers change
+
+func TestPurposesMatchPaperNarratives(t *testing.T) {
+	// ESCAT (§2/§5): inputs compulsory, staging checkpoint-style reuse of
+	// each node's own data, outputs compulsory.
+	r, err := Run(SmallStudy(ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFile := map[int]analysis.Purpose{}
+	for _, fp := range r.Purposes() {
+		byFile[int(fp.File)] = fp.Purpose
+	}
+	for _, id := range []int{9, 10, 11} {
+		if byFile[id] != analysis.PurposeCompulsoryInput {
+			t.Errorf("input file %d classified %v", id, byFile[id])
+		}
+	}
+	for _, id := range []int{7, 8} {
+		if byFile[id] != analysis.PurposeCheckpoint {
+			t.Errorf("staging file %d classified %v", id, byFile[id])
+		}
+	}
+	for _, id := range []int{3, 4, 5} {
+		if byFile[id] != analysis.PurposeCompulsoryOutput {
+			t.Errorf("output file %d classified %v", id, byFile[id])
+		}
+	}
+
+	// HTF (§7): integral files are out-of-core ("too large to retain in
+	// memory", reread every pass).
+	h, err := Run(SmallStudy(HTF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outOfCore := 0
+	for _, fp := range h.Purposes() {
+		if fp.Purpose == analysis.PurposeOutOfCore && fp.RereadOwn {
+			outOfCore++
+		}
+	}
+	if outOfCore < 8 { // one integral file per node in SmallConfig
+		t.Errorf("out-of-core integral files %d, want >= 8", outOfCore)
+	}
+}
+
+func TestESCATScalingSuperlinearIOTime(t *testing.T) {
+	pts, err := ESCATScaling([]int{8, 32}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %v", pts)
+	}
+	// The token-serialized small-write pattern costs superlinearly in node
+	// time: 4x the nodes should cost much more than 4x the seek+write time.
+	ratio := float64(pts[1].SeekWrite) / float64(pts[0].SeekWrite)
+	if ratio < 6 {
+		t.Fatalf("seek+write scaled only %.1fx for 4x nodes: %v", ratio, pts)
+	}
+	out := RenderScaling(pts)
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "seek+write") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestReportPatternSummaryMatchesPaperConclusion(t *testing.T) {
+	// §10: "the majority of the request patterns are sequential" and
+	// "requests tend to be of fixed size".
+	r, err := Run(SmallStudy(ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.PatternSummary()
+	if s.Streams == 0 {
+		t.Fatal("no streams")
+	}
+	if s.WeightedSequential < 0.5 {
+		t.Fatalf("sequential fraction %.2f, paper says majority", s.WeightedSequential)
+	}
+	if s.FixedSizeStreams == 0 {
+		t.Fatal("no fixed-size streams in ESCAT (quadrature records are fixed)")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r, err := Run(SmallStudy(ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	if decoded["app"] != "escat" {
+		t.Fatalf("app %v", decoded["app"])
+	}
+	ops := decoded["operations"].([]any)
+	if len(ops) < 5 || ops[0].(map[string]any)["op"] != "All I/O" {
+		t.Fatalf("operations %v", ops)
+	}
+	if decoded["patterns"].(map[string]any)["streams"].(float64) == 0 {
+		t.Fatal("no pattern streams in json")
+	}
+}

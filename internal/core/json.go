@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/analysis"
+)
+
+// jsonReport is the machine-readable projection of a Report: stable field
+// names, no simulation-internal types, suitable for downstream tooling
+// (plotting, regression tracking, cross-run diffing).
+type jsonReport struct {
+	App         AppID             `json:"app"`
+	WallSeconds float64           `json:"wall_seconds"`
+	Operations  []jsonOpRow       `json:"operations"`
+	ReadSizes   []int64           `json:"read_size_buckets"`
+	WriteSizes  []int64           `json:"write_size_buckets"`
+	Purposes    []jsonFilePurpose `json:"file_purposes"`
+	Patterns    jsonPatterns      `json:"patterns"`
+}
+
+type jsonOpRow struct {
+	Op          string  `json:"op"`
+	Count       int64   `json:"count"`
+	Bytes       int64   `json:"bytes"`
+	NodeSeconds float64 `json:"node_seconds"`
+	Percent     float64 `json:"percent"`
+}
+
+type jsonFilePurpose struct {
+	File         int    `json:"file"`
+	Purpose      string `json:"purpose"`
+	BytesRead    int64  `json:"bytes_read"`
+	BytesWritten int64  `json:"bytes_written"`
+	Readers      int    `json:"readers"`
+	Writers      int    `json:"writers"`
+}
+
+type jsonPatterns struct {
+	Streams            int     `json:"streams"`
+	SequentialStreams  int     `json:"sequential_streams"`
+	FixedSizeStreams   int     `json:"fixed_size_streams"`
+	WeightedSequential float64 `json:"weighted_sequential_fraction"`
+}
+
+// WriteJSON emits the report's characterization results as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		App:         r.App,
+		WallSeconds: r.Wall.Seconds(),
+		ReadSizes:   r.Sizes.Read.Buckets(),
+		WriteSizes:  r.Sizes.Write.Buckets(),
+	}
+	rows := append([]analysis.OpRow{r.Summary.Total}, r.Summary.Rows...)
+	for _, row := range rows {
+		out.Operations = append(out.Operations, jsonOpRow{
+			Op: row.Label, Count: row.Count, Bytes: row.Volume,
+			NodeSeconds: row.NodeTime.Seconds(), Percent: row.Pct,
+		})
+	}
+	for _, fp := range r.Purposes() {
+		out.Purposes = append(out.Purposes, jsonFilePurpose{
+			File: int(fp.File), Purpose: fp.Purpose.String(),
+			BytesRead: fp.BytesRead, BytesWritten: fp.BytesWritten,
+			Readers: fp.Readers, Writers: fp.Writers,
+		})
+	}
+	ps := r.PatternSummary()
+	out.Patterns = jsonPatterns{
+		Streams: ps.Streams, SequentialStreams: ps.SequentialStreams,
+		FixedSizeStreams: ps.FixedSizeStreams, WeightedSequential: ps.WeightedSequential,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

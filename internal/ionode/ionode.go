@@ -1,0 +1,87 @@
+// Package ionode models a Paragon I/O node: a service processor with a FIFO
+// request queue in front of one RAID-3 disk array. Compute-node requests
+// queue here, so contention among the 128 application nodes for the 16 I/O
+// nodes — the effect behind the paper's large per-operation times — emerges
+// from the model rather than being hard-coded.
+package ionode
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Node is one I/O node.
+type Node struct {
+	id    int
+	queue *sim.Resource
+	array *disk.Array
+
+	requests int64
+	bytes    int64
+}
+
+// New creates I/O node id with the given array behind a capacity-1 FIFO
+// server (one outstanding array operation at a time, as on the real machine).
+func New(eng *sim.Engine, id int, cfg disk.ArrayConfig) *Node {
+	return &Node{
+		id:    id,
+		queue: sim.NewResource(eng, fmt.Sprintf("ionode%d", id), 1),
+		array: disk.NewArray(cfg),
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() int { return n.id }
+
+// Array exposes the node's disk array (for tests and capacity checks).
+func (n *Node) Array() *disk.Array { return n.array }
+
+// Do services one request against the array byte address space: the caller
+// queues FIFO, then is charged the array service time. The stream key (the
+// file identity) drives sequential-access detection. It returns the total
+// time spent (queueing + service).
+func (n *Node) Do(p *sim.Process, stream, addr, bytes int64) sim.Time {
+	start := p.Now()
+	n.queue.Acquire(p)
+	svc := n.array.ServiceTime(stream, addr, bytes)
+	p.Sleep(svc)
+	n.queue.Release(p)
+	n.requests++
+	n.bytes += bytes
+	return p.Now() - start
+}
+
+// DoSweep services a scatter-gather batch: `requests` disjoint pieces
+// totalling `bytes`, submitted together and serviced in one sorted arm pass
+// starting at addr. The caller queues once for the whole sweep.
+func (n *Node) DoSweep(p *sim.Process, stream, addr, bytes int64, requests int) sim.Time {
+	start := p.Now()
+	n.queue.Acquire(p)
+	svc := n.array.SweepServiceTime(stream, addr, bytes, requests)
+	p.Sleep(svc)
+	n.queue.Release(p)
+	n.requests += int64(requests)
+	n.bytes += bytes
+	return p.Now() - start
+}
+
+// Sync charges a cheap queue round-trip with no data transfer; used for
+// flush and size queries.
+func (n *Node) Sync(p *sim.Process, cost sim.Time) sim.Time {
+	start := p.Now()
+	n.queue.Acquire(p)
+	p.Sleep(cost)
+	n.queue.Release(p)
+	return p.Now() - start
+}
+
+// Stats reports accumulated request count and bytes moved through this node.
+func (n *Node) Stats() (requests, bytes int64) { return n.requests, n.bytes }
+
+// Utilization reports the fraction of time the array server was busy up to
+// the given instant.
+func (n *Node) Utilization(at sim.Time) float64 {
+	return n.queue.StatsAt(at).Utilization
+}

@@ -1,0 +1,89 @@
+package iotrace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestOpNames(t *testing.T) {
+	cases := map[Op]string{
+		OpRead:      "Read",
+		OpWrite:     "Write",
+		OpSeek:      "Seek",
+		OpOpen:      "Open",
+		OpClose:     "Close",
+		OpAsyncRead: "AsynchRead",
+		OpIOWait:    "I/O Wait",
+		OpLsize:     "Lsize",
+		OpFlush:     "Forflush",
+	}
+	if len(cases) != NumOps {
+		t.Fatalf("test covers %d ops, NumOps=%d", len(cases), NumOps)
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d: %q, want %q", int(op), op.String(), want)
+		}
+		if !op.Valid() {
+			t.Errorf("%v not valid", op)
+		}
+	}
+	if Op(99).Valid() || Op(-1).Valid() {
+		t.Error("out-of-range op valid")
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Errorf("out-of-range name %q", Op(99).String())
+	}
+}
+
+func TestOpMoves(t *testing.T) {
+	moves := map[Op]bool{
+		OpRead: true, OpWrite: true, OpAsyncRead: true,
+		OpSeek: false, OpOpen: false, OpClose: false,
+		OpIOWait: false, OpLsize: false, OpFlush: false,
+	}
+	for op, want := range moves {
+		if op.Moves() != want {
+			t.Errorf("%v.Moves() = %v", op, op.Moves())
+		}
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	cases := map[AccessMode]string{
+		ModeNone:   "NONE",
+		ModeUnix:   "M_UNIX",
+		ModeLog:    "M_LOG",
+		ModeSync:   "M_SYNC",
+		ModeRecord: "M_RECORD",
+		ModeGlobal: "M_GLOBAL",
+		ModeAsync:  "M_ASYNC",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d: %q, want %q", int(m), m.String(), want)
+		}
+		if !m.Valid() {
+			t.Errorf("%v not valid", m)
+		}
+	}
+	if AccessMode(42).Valid() {
+		t.Error("mode 42 valid")
+	}
+	if AccessMode(42).String() != "AccessMode(42)" {
+		t.Errorf("out-of-range mode name %q", AccessMode(42).String())
+	}
+}
+
+func TestEventDuration(t *testing.T) {
+	e := Event{Start: 2 * sim.Second, End: 5 * sim.Second}
+	if e.Duration() != 3*sim.Second {
+		t.Fatalf("duration %v", e.Duration())
+	}
+}
+
+func TestDiscardAcceptsAnything(t *testing.T) {
+	Discard.Record(Event{Op: OpRead})
+	Discard.Record(Event{}) // no panic, no state
+}

@@ -1,0 +1,189 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		Cols:        4,
+		Rows:        4,
+		SWLatency:   100 * sim.Microsecond,
+		HopLatency:  1 * sim.Microsecond,
+		BWBytesPerS: 1e6, // 1 MB/s: 1 byte = 1 µs, easy arithmetic
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	m := New(testConfig())
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},  // one row down
+		{0, 5, 2},  // diagonal neighbor
+		{0, 15, 6}, // opposite corner of 4x4
+		{3, 12, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	m := New(testConfig())
+	prop := func(a, b uint8) bool {
+		s, d := int(a)%16, int(b)%16
+		return m.Hops(s, d) == m.Hops(d, s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostComponents(t *testing.T) {
+	m := New(testConfig())
+	// 0 -> 5: 2 hops; 1000 bytes at 1 MB/s = 1000 µs.
+	got := m.Cost(0, 5, 1000)
+	want := 100*sim.Microsecond + 2*sim.Microsecond + 1000*sim.Microsecond
+	if got != want {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestCostMonotoneInSize(t *testing.T) {
+	m := New(testConfig())
+	prop := func(a, b uint16) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.Cost(0, 15, lo) <= m.Cost(0, 15, hi)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferChargesSender(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(testConfig())
+	var charged sim.Time
+	eng.Spawn("tx", func(p *sim.Process) {
+		charged = m.Transfer(p, 0, 3, 500)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if charged != m.Cost(0, 3, 500) {
+		t.Fatalf("charged %v, want %v", charged, m.Cost(0, 3, 500))
+	}
+	if eng.Now() != charged {
+		t.Fatalf("clock %v, want %v", eng.Now(), charged)
+	}
+	if m.Messages() != 1 || m.Bytes() != 500 {
+		t.Fatalf("stats: %d msgs %d bytes", m.Messages(), m.Bytes())
+	}
+}
+
+func TestBroadcastLogStages(t *testing.T) {
+	m := New(testConfig())
+	// 16 participants -> ceil(log2 16) = 4 stages.
+	c16 := m.BroadcastCost(0, 16, 0)
+	c2 := m.BroadcastCost(0, 2, 0)
+	if c16 != 4*c2 {
+		t.Fatalf("16-way broadcast %v, want 4x 2-way %v", c16, c2)
+	}
+	if m.BroadcastCost(0, 1, 1000) != 0 {
+		t.Fatal("self-broadcast should be free")
+	}
+}
+
+func TestGatherLinearInParticipants(t *testing.T) {
+	m := New(testConfig())
+	c3 := m.GatherCost(0, 3, 100)
+	c5 := m.GatherCost(0, 5, 100)
+	per := c3 / 2
+	if c5 != 4*per {
+		t.Fatalf("gather not linear: 3->%v 5->%v", c3, c5)
+	}
+}
+
+func TestDefaultConfigCoversNodes(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 128, 512, 513} {
+		cfg := DefaultConfig(n)
+		if cfg.Cols*cfg.Rows < n {
+			t.Errorf("DefaultConfig(%d): %dx%d too small", n, cfg.Cols, cfg.Rows)
+		}
+	}
+}
+
+func TestInvalidConfigsPanic(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero-cols": {Cols: 0, Rows: 4, BWBytesPerS: 1},
+		"zero-bw":   {Cols: 2, Rows: 2, BWBytesPerS: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestBroadcastAndGatherChargeCaller(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(testConfig())
+	var bcast, gather sim.Time
+	eng.Spawn("root", func(p *sim.Process) {
+		t0 := p.Now()
+		m.Broadcast(p, 0, 16, 1000)
+		bcast = p.Now() - t0
+		t1 := p.Now()
+		m.Gather(p, 0, 16, 100)
+		gather = p.Now() - t1
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bcast != m.BroadcastCost(0, 16, 1000) {
+		t.Fatalf("broadcast charged %v, want %v", bcast, m.BroadcastCost(0, 16, 1000))
+	}
+	if gather != m.GatherCost(0, 16, 100) {
+		t.Fatalf("gather charged %v, want %v", gather, m.GatherCost(0, 16, 100))
+	}
+	// Traffic accounting: 15 messages each way.
+	if m.Messages() != 30 {
+		t.Fatalf("messages %d", m.Messages())
+	}
+	if m.Bytes() != 15*1000+15*100 {
+		t.Fatalf("bytes %d", m.Bytes())
+	}
+}
+
+func TestConfigAndNodesAccessors(t *testing.T) {
+	m := New(testConfig())
+	if m.Nodes() != 16 {
+		t.Fatalf("nodes %d", m.Nodes())
+	}
+	if m.Config().Cols != 4 || m.Config().BWBytesPerS != 1e6 {
+		t.Fatalf("config %+v", m.Config())
+	}
+}
+
+func TestNegativeMessagePanics(t *testing.T) {
+	m := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	m.Cost(0, 1, -1)
+}

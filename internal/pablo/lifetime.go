@@ -1,0 +1,99 @@
+package pablo
+
+import (
+	"sort"
+
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+)
+
+// FileLifetime is one file's lifetime summary: "the number and total
+// duration of file reads, writes, seeks, opens, and closes, as well as the
+// number of bytes accessed for each file, and the total time each file was
+// open" (§3.1).
+type FileLifetime struct {
+	File iotrace.FileID
+
+	Count    [iotrace.NumOps]int64
+	Duration [iotrace.NumOps]sim.Time
+
+	BytesRead    int64
+	BytesWritten int64
+
+	// OpenTime accumulates time the file had at least one open handle,
+	// approximated from open/close event bracketing.
+	OpenTime sim.Time
+
+	openDepth  int
+	openedAt   sim.Time
+	everOpened bool
+	lastEvent  sim.Time
+}
+
+// LifetimeReducer maintains FileLifetime summaries for every file seen.
+type LifetimeReducer struct {
+	files map[iotrace.FileID]*FileLifetime
+}
+
+// NewLifetimeReducer creates an empty lifetime reducer.
+func NewLifetimeReducer() *LifetimeReducer {
+	return &LifetimeReducer{files: make(map[iotrace.FileID]*FileLifetime)}
+}
+
+// Name implements Reducer.
+func (l *LifetimeReducer) Name() string { return "file-lifetime" }
+
+// Reduce implements Reducer.
+func (l *LifetimeReducer) Reduce(e iotrace.Event) {
+	f := l.files[e.File]
+	if f == nil {
+		f = &FileLifetime{File: e.File}
+		l.files[e.File] = f
+	}
+	f.Count[e.Op]++
+	f.Duration[e.Op] += e.Duration()
+	f.lastEvent = e.End
+	switch e.Op {
+	case iotrace.OpRead, iotrace.OpAsyncRead:
+		f.BytesRead += e.Bytes
+	case iotrace.OpWrite:
+		f.BytesWritten += e.Bytes
+	case iotrace.OpOpen:
+		if f.openDepth == 0 {
+			f.openedAt = e.End
+			f.everOpened = true
+		}
+		f.openDepth++
+	case iotrace.OpClose:
+		if f.openDepth > 0 {
+			f.openDepth--
+			if f.openDepth == 0 {
+				f.OpenTime += e.End - f.openedAt
+			}
+		}
+	}
+}
+
+// File returns the summary for one file (nil if never seen).
+func (l *LifetimeReducer) File(id iotrace.FileID) *FileLifetime { return l.files[id] }
+
+// Files returns all summaries ordered by file id. Files still open report
+// OpenTime up to their last captured event.
+func (l *LifetimeReducer) Files() []*FileLifetime {
+	out := make([]*FileLifetime, 0, len(l.files))
+	for _, f := range l.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out
+}
+
+// FinalOpenTime returns the file's open time, counting a still-open file as
+// open through `end`.
+func (f *FileLifetime) FinalOpenTime(end sim.Time) sim.Time {
+	t := f.OpenTime
+	if f.openDepth > 0 {
+		t += end - f.openedAt
+	}
+	return t
+}

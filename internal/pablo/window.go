@@ -1,0 +1,157 @@
+package pablo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+)
+
+// WindowSummary aggregates the activity that *started* within one time
+// window: counts, durations and bytes per operation class. Time-window
+// summaries "contain similar data [to lifetime summaries], but allow one to
+// specify a window of time; this window defines the granularity at which
+// data is summarized" (§3.1).
+type WindowSummary struct {
+	Index    int64 // window number: [Index*W, (Index+1)*W)
+	Count    [iotrace.NumOps]int64
+	Duration [iotrace.NumOps]sim.Time
+	Bytes    [iotrace.NumOps]int64
+}
+
+// WindowReducer buckets events by start time into fixed windows.
+type WindowReducer struct {
+	width   sim.Time
+	windows map[int64]*WindowSummary
+}
+
+// NewWindowReducer creates a reducer with the given window width (> 0).
+func NewWindowReducer(width sim.Time) *WindowReducer {
+	if width <= 0 {
+		panic(fmt.Sprintf("pablo: window width %v <= 0", width))
+	}
+	return &WindowReducer{width: width, windows: make(map[int64]*WindowSummary)}
+}
+
+// Name implements Reducer.
+func (w *WindowReducer) Name() string { return "time-window" }
+
+// Width returns the window width.
+func (w *WindowReducer) Width() sim.Time { return w.width }
+
+// Reduce implements Reducer.
+func (w *WindowReducer) Reduce(e iotrace.Event) {
+	idx := int64(e.Start / w.width)
+	s := w.windows[idx]
+	if s == nil {
+		s = &WindowSummary{Index: idx}
+		w.windows[idx] = s
+	}
+	s.Count[e.Op]++
+	s.Duration[e.Op] += e.Duration()
+	if e.Op.Moves() {
+		s.Bytes[e.Op] += e.Bytes
+	}
+}
+
+// Windows returns the non-empty windows in time order.
+func (w *WindowReducer) Windows() []*WindowSummary {
+	out := make([]*WindowSummary, 0, len(w.windows))
+	for _, s := range w.windows {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Window returns the summary for window idx (nil if empty).
+func (w *WindowReducer) Window(idx int64) *WindowSummary { return w.windows[idx] }
+
+// RegionSummary aggregates accesses to one fixed-size region of one file —
+// "file region summaries are the spatial analog of time window summaries"
+// (§3.1).
+type RegionSummary struct {
+	File   iotrace.FileID
+	Index  int64 // region number: bytes [Index*R, (Index+1)*R)
+	Reads  int64
+	Writes int64
+	Bytes  int64
+}
+
+// RegionReducer buckets data-moving events by file region. An access that
+// spans several regions counts once in each region it touches, with its
+// bytes split by region.
+type RegionReducer struct {
+	size    int64
+	regions map[regionKey]*RegionSummary
+}
+
+type regionKey struct {
+	file iotrace.FileID
+	idx  int64
+}
+
+// NewRegionReducer creates a reducer with the given region size in bytes.
+func NewRegionReducer(size int64) *RegionReducer {
+	if size <= 0 {
+		panic(fmt.Sprintf("pablo: region size %d <= 0", size))
+	}
+	return &RegionReducer{size: size, regions: make(map[regionKey]*RegionSummary)}
+}
+
+// Name implements Reducer.
+func (r *RegionReducer) Name() string { return "file-region" }
+
+// Size returns the region size.
+func (r *RegionReducer) Size() int64 { return r.size }
+
+// Reduce implements Reducer.
+func (r *RegionReducer) Reduce(e iotrace.Event) {
+	if !e.Op.Moves() || e.Bytes == 0 {
+		return
+	}
+	cur := e.Offset
+	end := e.Offset + e.Bytes
+	for cur < end {
+		idx := cur / r.size
+		regionEnd := (idx + 1) * r.size
+		if regionEnd > end {
+			regionEnd = end
+		}
+		key := regionKey{e.File, idx}
+		s := r.regions[key]
+		if s == nil {
+			s = &RegionSummary{File: e.File, Index: idx}
+			r.regions[key] = s
+		}
+		switch e.Op {
+		case iotrace.OpRead, iotrace.OpAsyncRead:
+			s.Reads++
+		case iotrace.OpWrite:
+			s.Writes++
+		}
+		s.Bytes += regionEnd - cur
+		cur = regionEnd
+	}
+}
+
+// Regions returns all touched regions ordered by (file, region index).
+func (r *RegionReducer) Regions() []*RegionSummary {
+	out := make([]*RegionSummary, 0, len(r.regions))
+	for _, s := range r.regions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Region returns the summary for one (file, region) pair, or nil.
+func (r *RegionReducer) Region(file iotrace.FileID, idx int64) *RegionSummary {
+	return r.regions[regionKey{file, idx}]
+}

@@ -1,0 +1,41 @@
+package pfs
+
+import "errors"
+
+// Errors returned by file-system operations. They are sentinel values so
+// application and policy code can test with errors.Is.
+var (
+	// ErrNotExist is returned when opening a file that was never created.
+	ErrNotExist = errors.New("pfs: file does not exist")
+
+	// ErrExist is returned when creating a file that already exists.
+	ErrExist = errors.New("pfs: file already exists")
+
+	// ErrClosed is returned when operating on a closed handle.
+	ErrClosed = errors.New("pfs: handle is closed")
+
+	// ErrRecordLength is returned by M_RECORD accesses whose size differs
+	// from the file's fixed record length.
+	ErrRecordLength = errors.New("pfs: M_RECORD access size differs from record length")
+
+	// ErrModeMismatch is returned when a file is concurrently opened with
+	// conflicting shared-pointer modes.
+	ErrModeMismatch = errors.New("pfs: conflicting access modes on shared file")
+
+	// ErrBadSeek is returned for seeks to negative offsets or with an
+	// unknown whence value.
+	ErrBadSeek = errors.New("pfs: invalid seek")
+
+	// ErrBadRequest is returned for negative-size transfers.
+	ErrBadRequest = errors.New("pfs: invalid request size")
+
+	// ErrEOF is returned by reads positioned at or beyond end of file.
+	ErrEOF = errors.New("pfs: end of file")
+)
+
+// Seek whence values, matching the os package's convention.
+const (
+	SeekStart   = 0 // relative to file origin
+	SeekCurrent = 1 // relative to current pointer
+	SeekEnd     = 2 // relative to end of file
+)

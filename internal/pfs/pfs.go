@@ -1,0 +1,261 @@
+// Package pfs models the Intel Paragon Parallel File System (PFS) as
+// described in §3.2 of the paper: files striped in 64 KB units across the
+// I/O nodes, a metadata server where opens, closes and size queries
+// serialize, POSIX atomicity on M_UNIX files, and the six parallel access
+// modes (M_UNIX, M_LOG, M_SYNC, M_RECORD, M_GLOBAL, M_ASYNC) with their real
+// sharing semantics.
+//
+// The package is a *performance model*, not a data store: requests carry
+// offsets and sizes but no payload, because the characterization study is
+// about access patterns and costs. Every operation is charged its software
+// cost on the calling compute node, contends for the metadata server or the
+// file's atomicity token as the mode requires, and queues chunk-by-chunk at
+// the I/O nodes its stripes live on.
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/ionode"
+	"repro/internal/iotrace"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+)
+
+// FileSystem is one PFS instance bound to a simulated machine.
+type FileSystem struct {
+	eng *sim.Engine
+	msh *mesh.Mesh
+	cfg Config
+
+	meta    *sim.Resource // metadata server: opens/closes/lsize serialize here
+	ion     []*ionode.Node
+	ionHome []int // compute-node id of each I/O node (for mesh distance)
+
+	files  map[string]*File
+	nextID iotrace.FileID
+
+	rec      iotrace.Recorder
+	phase    string
+	seq      int64
+	coldOpen bool // first open of this instance already happened
+
+	opCount [iotrace.NumOps]int64
+	opBytes [iotrace.NumOps]int64
+	opTime  [iotrace.NumOps]sim.Time
+}
+
+// New creates a PFS instance on the given engine and mesh. The I/O nodes are
+// placed at the highest mesh coordinates (as on the CCSF machine, where
+// service and I/O nodes occupied dedicated columns).
+func New(eng *sim.Engine, msh *mesh.Mesh, cfg Config) (*FileSystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &FileSystem{
+		eng:   eng,
+		msh:   msh,
+		cfg:   cfg,
+		meta:  sim.NewResource(eng, "pfs-meta", 1),
+		files: make(map[string]*File),
+		rec:   iotrace.Discard,
+	}
+	total := msh.Nodes()
+	for i := 0; i < cfg.IONodes; i++ {
+		fs.ion = append(fs.ion, ionode.New(eng, i, cfg.Disk))
+		home := total - cfg.IONodes + i
+		if home < 0 {
+			home = i % total
+		}
+		fs.ionHome = append(fs.ionHome, home)
+	}
+	return fs, nil
+}
+
+// Config returns the file-system configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// SetRecorder installs the trace recorder (e.g. a pablo.Tracer). Passing nil
+// disables recording.
+func (fs *FileSystem) SetRecorder(r iotrace.Recorder) {
+	if r == nil {
+		r = iotrace.Discard
+	}
+	fs.rec = r
+}
+
+// SetPhase labels subsequently captured events with an application phase
+// name; the analysis tools use it to separate the paper's per-phase figures.
+func (fs *FileSystem) SetPhase(name string) { fs.phase = name }
+
+// Phase returns the current phase label.
+func (fs *FileSystem) Phase() string { return fs.phase }
+
+// IONodes exposes the I/O-node population (read-only use intended).
+func (fs *FileSystem) IONodes() []*ionode.Node { return fs.ion }
+
+// record captures one completed operation and accumulates summary counters.
+func (fs *FileSystem) record(node int, op iotrace.Op, f *File, offset, bytes int64,
+	start sim.Time, mode iotrace.AccessMode) {
+	fs.seq++
+	var id iotrace.FileID
+	if f != nil {
+		id = f.id
+	}
+	end := fs.eng.Now()
+	fs.rec.Record(iotrace.Event{
+		Seq: fs.seq, Node: node, Op: op, File: id,
+		Offset: offset, Bytes: bytes, Start: start, End: end,
+		Mode: mode, Phase: fs.phase,
+	})
+	fs.opCount[op]++
+	if op.Moves() {
+		fs.opBytes[op] += bytes
+	}
+	fs.opTime[op] += end - start
+}
+
+// OpCount returns the number of operations of class op performed so far.
+func (fs *FileSystem) OpCount(op iotrace.Op) int64 { return fs.opCount[op] }
+
+// OpBytes returns the bytes moved by operations of class op.
+func (fs *FileSystem) OpBytes(op iotrace.Op) int64 { return fs.opBytes[op] }
+
+// OpTime returns the summed node time spent in operations of class op.
+func (fs *FileSystem) OpTime(op iotrace.Op) sim.Time { return fs.opTime[op] }
+
+// Create creates a new file and returns an open handle on it for the calling
+// node. Creation is the expensive metadata operation on PFS.
+func (fs *FileSystem) Create(p *sim.Process, node int, name string, mode iotrace.AccessMode) (*Handle, error) {
+	start := p.Now()
+	fs.chargeColdOpen(p)
+	p.Sleep(fs.cfg.Cost.ClientOverhead)
+	fs.meta.Acquire(p)
+	if _, exists := fs.files[name]; exists {
+		fs.meta.Release(p)
+		return nil, fmt.Errorf("create %q: %w", name, ErrExist)
+	}
+	p.Sleep(fs.cfg.Cost.CreateService)
+	fs.nextID++
+	f := newFile(fs, fs.nextID, name)
+	fs.files[name] = f
+	fs.meta.Release(p)
+	if err := f.checkMode(mode); err != nil {
+		return nil, fmt.Errorf("create %q: %w", name, err)
+	}
+	h := f.newHandle(node, mode)
+	fs.record(node, iotrace.OpOpen, f, 0, 0, start, mode)
+	return h, nil
+}
+
+// Open opens an existing file. All nodes of a parallel program open shared
+// files with the same mode; conflicting shared-pointer modes are an error.
+func (fs *FileSystem) Open(p *sim.Process, node int, name string, mode iotrace.AccessMode) (*Handle, error) {
+	start := p.Now()
+	fs.chargeColdOpen(p)
+	p.Sleep(fs.cfg.Cost.ClientOverhead)
+	fs.meta.Acquire(p)
+	f, exists := fs.files[name]
+	if !exists {
+		fs.meta.Release(p)
+		return nil, fmt.Errorf("open %q: %w", name, ErrNotExist)
+	}
+	p.Sleep(fs.cfg.Cost.OpenService)
+	fs.meta.Release(p)
+	if err := f.checkMode(mode); err != nil {
+		return nil, fmt.Errorf("open %q: %w", name, err)
+	}
+	h := f.newHandle(node, mode)
+	fs.record(node, iotrace.OpOpen, f, 0, 0, start, mode)
+	return h, nil
+}
+
+// OpenRecord opens an existing file in M_RECORD mode with the given fixed
+// record length, which every subsequent access must match exactly.
+func (fs *FileSystem) OpenRecord(p *sim.Process, node int, name string, recordLen int64) (*Handle, error) {
+	if recordLen < 1 {
+		return nil, fmt.Errorf("open %q: record length %d: %w", name, recordLen, ErrBadRequest)
+	}
+	h, err := fs.Open(p, node, name, iotrace.ModeRecord)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.file.setRecordLen(recordLen); err != nil {
+		return nil, fmt.Errorf("open %q: %w", name, err)
+	}
+	return h, nil
+}
+
+// Exists reports whether a file has been created.
+func (fs *FileSystem) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// FileInfo describes a file's identity and extent.
+type FileInfo struct {
+	ID   iotrace.FileID
+	Name string
+	Size int64
+}
+
+// Stat returns metadata for a file without charging simulation time (it is a
+// bookkeeping query for tests and reports, not a modeled operation; modeled
+// size queries go through Handle.Lsize).
+func (fs *FileSystem) Stat(name string) (FileInfo, bool) {
+	f, ok := fs.files[name]
+	if !ok {
+		return FileInfo{}, false
+	}
+	return FileInfo{ID: f.id, Name: f.name, Size: f.size}, true
+}
+
+// Files returns info for all files, in creation order.
+func (fs *FileSystem) Files() []FileInfo {
+	out := make([]FileInfo, 0, len(fs.files))
+	for _, f := range fs.files {
+		out = append(out, FileInfo{ID: f.id, Name: f.name, Size: f.size})
+	}
+	// creation order == id order
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func (fs *FileSystem) chargeColdOpen(p *sim.Process) {
+	if fs.coldOpen || fs.cfg.Cost.FirstOpenPenalty == 0 {
+		fs.coldOpen = true
+		return
+	}
+	fs.coldOpen = true
+	p.Sleep(fs.cfg.Cost.FirstOpenPenalty)
+}
+
+// transfer moves bytes between compute node `node` and the stripes of f in
+// [off, off+n), charging mesh and I/O-node costs chunk by chunk. It is the
+// physical data path shared by every mode.
+func (fs *FileSystem) transfer(p *sim.Process, node int, f *File, off, n int64) {
+	su := fs.cfg.StripeUnit
+	cur := off
+	end := off + n
+	for cur < end {
+		stripe := cur / su
+		chunkEnd := (stripe + 1) * su
+		if chunkEnd > end {
+			chunkEnd = end
+		}
+		chunk := chunkEnd - cur
+		ion := f.stripeIONode(stripe, len(fs.ion))
+		addr := f.arrayAddr(stripe, cur%su, len(fs.ion), su)
+		fs.msh.Transfer(p, node, fs.ionHome[ion], chunk)
+		fs.ion[ion].Do(p, int64(f.id), addr, chunk)
+		cur = chunkEnd
+	}
+}
+
+// DiskConfig is re-exported for callers needing the array model defaults.
+type DiskConfig = disk.ArrayConfig

@@ -1,0 +1,89 @@
+package ppfs
+
+import "fmt"
+
+// Advice is an application-supplied declaration of a file's expected access
+// pattern — §10: the group's PPFS "allows users to advertise expected file
+// access patterns and to choose file distribution, caching, and prefetch
+// policies". Advice overrides both the unconditional policy defaults and
+// the adaptive classifier for the advised file.
+type Advice struct {
+	// Pattern the application expects (sequential enables prefetch,
+	// random disables it).
+	Pattern Pattern
+
+	// WriteBehind forces write-behind on (true) regardless of size
+	// heuristics; nil-advice files follow the policy defaults.
+	WriteBehind bool
+
+	// Prefetch overrides the policy's readahead depth for this file
+	// (0 keeps the policy default; negative disables).
+	Prefetch int
+}
+
+// Advise registers advice for a file. It may be called before or after the
+// file exists; advice applies to subsequent accesses through this PPFS
+// instance.
+func (fs *FileSystem) Advise(name string, a Advice) error {
+	if a.Pattern < PatternUnknown || a.Pattern > PatternRandom {
+		return fmt.Errorf("ppfs: advise %q: invalid pattern %d", name, int(a.Pattern))
+	}
+	if fs.advice == nil {
+		fs.advice = make(map[string]Advice)
+	}
+	fs.advice[name] = a
+	return nil
+}
+
+// AdviceFor returns the registered advice, if any.
+func (fs *FileSystem) AdviceFor(name string) (Advice, bool) {
+	a, ok := fs.advice[name]
+	return a, ok
+}
+
+// prefetchDepth resolves the effective readahead depth for a handle:
+// explicit advice wins, then the adaptive classifier, then the policy.
+func (h *Handle) prefetchDepth() int {
+	fs := h.fs
+	if a, ok := fs.advice[h.name]; ok {
+		switch {
+		case a.Prefetch < 0:
+			return 0
+		case a.Prefetch > 0:
+			return a.Prefetch
+		case a.Pattern == PatternSequential:
+			if fs.pol.Prefetch > 0 {
+				return fs.pol.Prefetch
+			}
+			return 2
+		case a.Pattern == PatternRandom:
+			return 0
+		}
+		return fs.pol.Prefetch
+	}
+	if fs.pol.Adaptive && fs.class.Classify(h.file, h.node).Pattern != PatternSequential {
+		return 0
+	}
+	return fs.pol.Prefetch
+}
+
+// wantWriteBehind resolves whether a write of n bytes should be buffered.
+func (h *Handle) wantWriteBehind(n int64) bool {
+	fs := h.fs
+	if !fs.pol.WriteBehind {
+		return false
+	}
+	if a, ok := fs.advice[h.name]; ok && a.WriteBehind {
+		return true
+	}
+	if n >= fs.pol.DirectWriteBytes {
+		return false
+	}
+	if fs.pol.Adaptive {
+		cl := fs.class.Classify(h.file, h.node)
+		if cl.Pattern == PatternSequential && cl.MeanBytes >= fs.pol.DirectWriteBytes {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package ppfs
+
+import (
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+)
+
+// blockKey identifies one cache block.
+type blockKey struct {
+	file  iotrace.FileID
+	index int64 // block number within the file
+}
+
+// blockState is a cached block's lifecycle.
+type blockState int
+
+const (
+	blockReady   blockState = iota // data resident
+	blockPending                   // fetch in flight; wait on comp
+)
+
+// block is one entry of the client block cache.
+type block struct {
+	key   blockKey
+	state blockState
+	comp  *sim.Completion // set while pending
+
+	prev, next *block // LRU list
+}
+
+// blockCache is a fixed-capacity LRU of file blocks shared by all handles of
+// a PPFS instance (PPFS's client cache was likewise shared per node group).
+type blockCache struct {
+	capacity int
+	blocks   map[blockKey]*block
+	head     *block // most recently used
+	tail     *block // least recently used
+
+	evictions int64
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{capacity: capacity, blocks: make(map[blockKey]*block)}
+}
+
+// lookup returns the block if cached (promoting it), else nil.
+func (c *blockCache) lookup(k blockKey) *block {
+	b := c.blocks[k]
+	if b != nil {
+		c.promote(b)
+	}
+	return b
+}
+
+// insert adds a block in the given state, evicting the LRU entry if needed.
+// Pending blocks are never evicted (fetches in flight must land somewhere),
+// so the cache can transiently exceed capacity under heavy prefetch.
+func (c *blockCache) insert(k blockKey, st blockState, comp *sim.Completion) *block {
+	if b := c.blocks[k]; b != nil {
+		b.state, b.comp = st, comp
+		c.promote(b)
+		return b
+	}
+	for len(c.blocks) >= c.capacity {
+		victim := c.tail
+		for victim != nil && victim.state == blockPending {
+			victim = victim.prev
+		}
+		if victim == nil {
+			break // everything pending; overflow transiently
+		}
+		c.remove(victim)
+		delete(c.blocks, victim.key)
+		c.evictions++
+	}
+	b := &block{key: k, state: st, comp: comp}
+	c.blocks[k] = b
+	c.pushFront(b)
+	return b
+}
+
+// ready marks a pending block resident.
+func (c *blockCache) ready(b *block) {
+	b.state = blockReady
+	b.comp = nil
+}
+
+// drop removes a block (used when a write invalidates cached data).
+func (c *blockCache) drop(k blockKey) {
+	if b := c.blocks[k]; b != nil && b.state == blockReady {
+		c.remove(b)
+		delete(c.blocks, k)
+	}
+}
+
+// len reports the number of cached blocks.
+func (c *blockCache) len() int { return len(c.blocks) }
+
+func (c *blockCache) pushFront(b *block) {
+	b.prev = nil
+	b.next = c.head
+	if c.head != nil {
+		c.head.prev = b
+	}
+	c.head = b
+	if c.tail == nil {
+		c.tail = b
+	}
+}
+
+func (c *blockCache) remove(b *block) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		c.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		c.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+func (c *blockCache) promote(b *block) {
+	c.remove(b)
+	c.pushFront(b)
+}

@@ -1,0 +1,138 @@
+package ppfs
+
+import (
+	"repro/internal/iotrace"
+)
+
+// Pattern is the classifier's verdict on one access stream — the automatic
+// access-pattern classification §10 proposes for adaptive prefetching.
+type Pattern int
+
+// Access patterns.
+const (
+	PatternUnknown Pattern = iota
+	PatternSequential
+	PatternStrided
+	PatternRandom
+)
+
+var patternNames = [...]string{"unknown", "sequential", "strided", "random"}
+
+// String names the pattern.
+func (p Pattern) String() string {
+	if p < 0 || int(p) >= len(patternNames) {
+		return "invalid"
+	}
+	return patternNames[p]
+}
+
+// Classification summarizes one stream: its spatial pattern and read/write
+// mix.
+type Classification struct {
+	Pattern      Pattern
+	Accesses     int64
+	ReadFraction float64 // fraction of accesses that were reads
+	MeanBytes    int64   // mean request size
+}
+
+// streamKey identifies an access stream: one node's accesses to one file.
+type streamKey struct {
+	file iotrace.FileID
+	node int
+}
+
+// streamState is the classifier's running view of one stream.
+type streamState struct {
+	started    bool
+	lastOff    int64
+	lastEnd    int64
+	lastStride int64
+
+	seq     int64
+	strided int64
+	random  int64
+
+	reads  int64
+	writes int64
+	bytes  int64
+}
+
+// Classifier learns access patterns from the request stream. It is the
+// model's realization of the paper's closing direction: "general, adaptive
+// prefetching methods that can learn to hide input/output latency by
+// automatically classifying and predicting access patterns" (§10).
+type Classifier struct {
+	streams map[streamKey]*streamState
+}
+
+// NewClassifier creates an empty classifier.
+func NewClassifier() *Classifier {
+	return &Classifier{streams: make(map[streamKey]*streamState)}
+}
+
+// Observe feeds one data access into the classifier.
+func (c *Classifier) Observe(file iotrace.FileID, node int, op iotrace.Op, off, n int64) {
+	if op != iotrace.OpRead && op != iotrace.OpAsyncRead && op != iotrace.OpWrite {
+		return
+	}
+	key := streamKey{file, node}
+	s := c.streams[key]
+	if s == nil {
+		s = &streamState{}
+		c.streams[key] = s
+	}
+	if op == iotrace.OpWrite {
+		s.writes++
+	} else {
+		s.reads++
+	}
+	s.bytes += n
+	if s.started {
+		switch {
+		case off == s.lastEnd:
+			s.seq++
+		case off-s.lastOff != 0 && off-s.lastOff == s.lastStride:
+			s.strided++
+		default:
+			s.random++
+		}
+		s.lastStride = off - s.lastOff
+	}
+	s.started = true
+	s.lastOff = off
+	s.lastEnd = off + n
+}
+
+// Classify reports the stream's pattern. Streams with fewer than four
+// accesses are PatternUnknown; otherwise the pattern with a qualifying
+// majority wins (sequential at >= 60%, strided at >= 50%), defaulting to
+// random.
+func (c *Classifier) Classify(file iotrace.FileID, node int) Classification {
+	s := c.streams[streamKey{file, node}]
+	if s == nil {
+		return Classification{Pattern: PatternUnknown}
+	}
+	total := s.reads + s.writes
+	cl := Classification{Accesses: total}
+	if total > 0 {
+		cl.ReadFraction = float64(s.reads) / float64(total)
+		cl.MeanBytes = s.bytes / total
+	}
+	transitions := s.seq + s.strided + s.random
+	if total < 4 || transitions == 0 {
+		cl.Pattern = PatternUnknown
+		return cl
+	}
+	switch {
+	case float64(s.seq)/float64(transitions) >= 0.6:
+		cl.Pattern = PatternSequential
+	case float64(s.strided)/float64(transitions) >= 0.5:
+		cl.Pattern = PatternStrided
+	default:
+		cl.Pattern = PatternRandom
+	}
+	return cl
+}
+
+// Streams returns the number of distinct streams observed.
+func (c *Classifier) Streams() int { return len(c.streams) }

@@ -1,0 +1,285 @@
+package sddf
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+)
+
+func sampleDescriptor() Descriptor {
+	return Descriptor{
+		Tag:  7,
+		Name: "sample record",
+		Fields: []Field{
+			{Name: "count", Type: TInt32},
+			{Name: "bytes", Type: TInt64},
+			{Name: "ratio", Type: TFloat64},
+			{Name: "label", Type: TString},
+		},
+	}
+}
+
+func sampleRecord() Record {
+	return Record{Tag: 7, Values: []any{int32(-3), int64(1 << 40), 0.125, `quo"ted \ value`}}
+}
+
+func roundTrip(t *testing.T, ascii bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	var wd interface {
+		WriteDescriptor(Descriptor) error
+		WriteRecord(Record) error
+		Flush() error
+	}
+	if ascii {
+		wd, err = NewASCIIWriter(&buf)
+	} else {
+		wd, err = NewBinaryWriter(&buf)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.WriteDescriptor(sampleDescriptor()); err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.WriteRecord(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var rd interface{ Next() (any, error) }
+	if ascii {
+		rd, err = NewASCIIReader(&buf)
+	} else {
+		rd, err = NewBinaryReader(&buf)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := item.(Descriptor)
+	if !ok || !reflect.DeepEqual(d, sampleDescriptor()) {
+		t.Fatalf("descriptor round trip: %#v", item)
+	}
+	item, err = rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := item.(Record)
+	if !ok || !reflect.DeepEqual(r, sampleRecord()) {
+		t.Fatalf("record round trip: %#v", item)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) { roundTrip(t, false) }
+func TestASCIIRoundTrip(t *testing.T)  { roundTrip(t, true) }
+
+func TestRecordBeforeDescriptorRejected(t *testing.T) {
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf)
+	if err := bw.WriteRecord(sampleRecord()); !errors.Is(err, ErrUnknownTag) {
+		t.Fatalf("binary: %v", err)
+	}
+	aw, _ := NewASCIIWriter(&buf)
+	if err := aw.WriteRecord(sampleRecord()); !errors.Is(err, ErrUnknownTag) {
+		t.Fatalf("ascii: %v", err)
+	}
+}
+
+func TestTypeMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf)
+	bw.WriteDescriptor(sampleDescriptor())
+	bad := Record{Tag: 7, Values: []any{int64(1), int64(2), 0.5, "x"}} // first should be int32
+	if err := bw.WriteRecord(bad); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("type mismatch: %v", err)
+	}
+	short := Record{Tag: 7, Values: []any{int32(1)}}
+	if err := bw.WriteRecord(short); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+}
+
+func TestDuplicateTagRejected(t *testing.T) {
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf)
+	bw.WriteDescriptor(sampleDescriptor())
+	if err := bw.WriteDescriptor(sampleDescriptor()); !errors.Is(err, ErrDuplicateTag) {
+		t.Fatalf("dup: %v", err)
+	}
+}
+
+func TestBadHeaders(t *testing.T) {
+	if _, err := NewBinaryReader(strings.NewReader("garbage stream")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("binary: %v", err)
+	}
+	if _, err := NewASCIIReader(strings.NewReader("not sddf\n")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("ascii: %v", err)
+	}
+}
+
+func TestTruncatedBinaryStream(t *testing.T) {
+	var buf bytes.Buffer
+	bw, _ := NewBinaryWriter(&buf)
+	bw.WriteDescriptor(sampleDescriptor())
+	bw.WriteRecord(sampleRecord())
+	bw.Flush()
+	full := buf.Bytes()
+	// Chop mid-record.
+	br, err := NewBinaryReader(bytes.NewReader(full[:len(full)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Next(); err != nil {
+		t.Fatal(err) // descriptor ok
+	}
+	if _, err := br.Next(); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated record: %v", err)
+	}
+}
+
+func TestASCIICommentsAndBlanksSkipped(t *testing.T) {
+	text := "#SDDFA 1\n" +
+		"# a comment\n" +
+		"\n" +
+		"#D 1 \"r\" x:int32\n" +
+		"1 42\n"
+	ar, err := NewASCIIReader(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.Next(); err != nil {
+		t.Fatal(err)
+	}
+	item, err := ar.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := item.(Record); r.Values[0].(int32) != 42 {
+		t.Fatalf("record %v", r)
+	}
+}
+
+func TestFieldTypeParse(t *testing.T) {
+	for _, ft := range []FieldType{TInt32, TInt64, TFloat64, TString} {
+		back, err := ParseFieldType(ft.String())
+		if err != nil || back != ft {
+			t.Fatalf("round trip %v: %v %v", ft, back, err)
+		}
+	}
+	if _, err := ParseFieldType("bogus"); err == nil {
+		t.Fatal("bogus type parsed")
+	}
+}
+
+func sampleEvents() []iotrace.Event {
+	return []iotrace.Event{
+		{Seq: 1, Node: 0, Op: iotrace.OpOpen, File: 9, Start: 0, End: sim.Second, Mode: iotrace.ModeUnix, Phase: "init"},
+		{Seq: 2, Node: 5, Op: iotrace.OpWrite, File: 9, Offset: 2048, Bytes: 2048,
+			Start: 2 * sim.Second, End: 3 * sim.Second, Mode: iotrace.ModeUnix, Phase: "quadrature"},
+		{Seq: 3, Node: 5, Op: iotrace.OpIOWait, File: 3, Start: 4 * sim.Second, End: 5 * sim.Second,
+			Mode: iotrace.ModeAsync, Phase: "render \"x\""},
+	}
+}
+
+func TestTraceRoundTripBinary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sampleEvents(), false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleEvents()) {
+		t.Fatalf("binary trace round trip:\n got %#v", got)
+	}
+}
+
+func TestTraceRoundTripASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sampleEvents(), true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleEvents()) {
+		t.Fatalf("ascii trace round trip:\n got %#v", got)
+	}
+}
+
+func TestReadTraceRejectsInvalidOp(t *testing.T) {
+	bad := sampleEvents()
+	bad[0].Op = iotrace.Op(99)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, bad, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("invalid op accepted: %v", err)
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+// Property: any event with printable phase text survives binary round trip.
+func TestEventRoundTripProperty(t *testing.T) {
+	prop := func(seq int64, node uint8, op uint8, file uint8, off, n int64, s, e uint32, phase string) bool {
+		ev := iotrace.Event{
+			Seq:  seq,
+			Node: int(node),
+			Op:   iotrace.Op(int(op) % iotrace.NumOps),
+			File: iotrace.FileID(file),
+			Offset: func() int64 {
+				if off < 0 {
+					return -off
+				}
+				return off
+			}(),
+			Bytes: func() int64 {
+				if n < 0 {
+					return -n
+				}
+				return n
+			}(),
+			Start: sim.Time(s),
+			End:   sim.Time(s) + sim.Time(e),
+			Mode:  iotrace.ModeUnix,
+			Phase: phase,
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, []iotrace.Event{ev}, false); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0] == ev
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package sddf
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/iotrace"
+	"repro/internal/pablo"
+	"repro/internal/sim"
+)
+
+// buildReductions feeds a small synthetic trace through all three reducers.
+func buildReductions() (*pablo.LifetimeReducer, *pablo.WindowReducer, *pablo.RegionReducer) {
+	lt := pablo.NewLifetimeReducer()
+	win := pablo.NewWindowReducer(10 * sim.Second)
+	reg := pablo.NewRegionReducer(4096)
+	events := []iotrace.Event{
+		{Op: iotrace.OpOpen, File: 1, Start: 0, End: sim.Second},
+		{Op: iotrace.OpWrite, File: 1, Offset: 0, Bytes: 6000, Start: 2 * sim.Second, End: 3 * sim.Second},
+		{Op: iotrace.OpRead, File: 1, Offset: 0, Bytes: 2000, Start: 15 * sim.Second, End: 16 * sim.Second},
+		{Op: iotrace.OpClose, File: 1, Start: 20 * sim.Second, End: 21 * sim.Second},
+		{Op: iotrace.OpWrite, File: 2, Offset: 8192, Bytes: 100, Start: 25 * sim.Second, End: 26 * sim.Second},
+	}
+	for _, e := range events {
+		lt.Reduce(e)
+		win.Reduce(e)
+		reg.Reduce(e)
+	}
+	return lt, win, reg
+}
+
+func TestWriteSummariesRoundTripBothEncodings(t *testing.T) {
+	lt, win, reg := buildReductions()
+	for _, ascii := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := WriteSummaries(&buf, ascii, lt, win, reg, 30*sim.Second); err != nil {
+			t.Fatalf("ascii=%v: %v", ascii, err)
+		}
+		c, err := CountSummaries(&buf)
+		if err != nil {
+			t.Fatalf("ascii=%v: %v", ascii, err)
+		}
+		// 2 files; 3 windows (0s, 10s, 20s starts); regions: file1 blocks
+		// 0+1 (write spans 6000) + block 0 read (same region) and file2
+		// block 2 => 3 distinct regions.
+		if c.Lifetimes != 2 {
+			t.Errorf("ascii=%v lifetimes %d, want 2", ascii, c.Lifetimes)
+		}
+		if c.Windows != 3 {
+			t.Errorf("ascii=%v windows %d, want 3", ascii, c.Windows)
+		}
+		if c.Regions != 3 {
+			t.Errorf("ascii=%v regions %d, want 3", ascii, c.Regions)
+		}
+	}
+}
+
+func TestWriteSummariesNilReducersSkipped(t *testing.T) {
+	lt, _, _ := buildReductions()
+	var buf bytes.Buffer
+	if err := WriteSummaries(&buf, false, lt, nil, nil, sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CountSummaries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lifetimes != 2 || c.Windows != 0 || c.Regions != 0 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestSummaryRecordFieldsValidate(t *testing.T) {
+	// Every record constructor must match its descriptor.
+	lt, win, reg := buildReductions()
+	cases := []struct {
+		d Descriptor
+		r Record
+	}{
+		{LifetimeDescriptor(), LifetimeRecord(lt.Files()[0], sim.Second)},
+		{WindowDescriptor(), WindowRecord(win.Windows()[0], win.Width())},
+		{RegionDescriptor(), RegionRecord(reg.Regions()[0], reg.Size())},
+	}
+	for _, c := range cases {
+		if err := validate(c.d, c.r); err != nil {
+			t.Errorf("%s: %v", c.d.Name, err)
+		}
+	}
+}
+
+func TestLifetimeRecordContent(t *testing.T) {
+	lt, _, _ := buildReductions()
+	f := lt.File(1)
+	rec := LifetimeRecord(f, 30*sim.Second)
+	// First value is the file id.
+	if rec.Values[0].(int32) != 1 {
+		t.Fatalf("file id %v", rec.Values[0])
+	}
+	// Trailing triple: bytes read, bytes written, open time.
+	n := len(rec.Values)
+	if rec.Values[n-3].(int64) != 2000 || rec.Values[n-2].(int64) != 6000 {
+		t.Fatalf("byte totals %v %v", rec.Values[n-3], rec.Values[n-2])
+	}
+	if rec.Values[n-1].(int64) != int64(20*sim.Second) {
+		t.Fatalf("open time %v", rec.Values[n-1])
+	}
+}
+
+func TestCountSummariesEmptyStream(t *testing.T) {
+	if _, err := CountSummaries(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package sddf
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+)
+
+// EventTag is the descriptor tag used for I/O trace event records.
+const EventTag = 1
+
+// EventDescriptor returns the canonical SDDF descriptor for iotrace.Event.
+func EventDescriptor() Descriptor {
+	return Descriptor{
+		Tag:  EventTag,
+		Name: "io-event",
+		Fields: []Field{
+			{Name: "seq", Type: TInt64},
+			{Name: "node", Type: TInt32},
+			{Name: "op", Type: TInt32},
+			{Name: "file", Type: TInt32},
+			{Name: "offset", Type: TInt64},
+			{Name: "bytes", Type: TInt64},
+			{Name: "start_us", Type: TInt64},
+			{Name: "end_us", Type: TInt64},
+			{Name: "mode", Type: TInt32},
+			{Name: "phase", Type: TString},
+		},
+	}
+}
+
+// EventRecord converts an event into an SDDF record.
+func EventRecord(e iotrace.Event) Record {
+	return Record{
+		Tag: EventTag,
+		Values: []any{
+			e.Seq, int32(e.Node), int32(e.Op), int32(e.File),
+			e.Offset, e.Bytes, int64(e.Start), int64(e.End),
+			int32(e.Mode), e.Phase,
+		},
+	}
+}
+
+// RecordEvent converts an io-event SDDF record back into an event.
+func RecordEvent(r Record) (iotrace.Event, error) {
+	if r.Tag != EventTag || len(r.Values) != 10 {
+		return iotrace.Event{}, fmt.Errorf("%w: not an io-event record", ErrBadFormat)
+	}
+	e := iotrace.Event{
+		Seq:    r.Values[0].(int64),
+		Node:   int(r.Values[1].(int32)),
+		Op:     iotrace.Op(r.Values[2].(int32)),
+		File:   iotrace.FileID(r.Values[3].(int32)),
+		Offset: r.Values[4].(int64),
+		Bytes:  r.Values[5].(int64),
+		Start:  sim.Time(r.Values[6].(int64)),
+		End:    sim.Time(r.Values[7].(int64)),
+		Mode:   iotrace.AccessMode(r.Values[8].(int32)),
+		Phase:  r.Values[9].(string),
+	}
+	if !e.Op.Valid() {
+		return iotrace.Event{}, fmt.Errorf("%w: invalid op %d", ErrBadFormat, int(e.Op))
+	}
+	if !e.Mode.Valid() {
+		return iotrace.Event{}, fmt.Errorf("%w: invalid mode %d", ErrBadFormat, int(e.Mode))
+	}
+	return e, nil
+}
+
+// traceWriter is the common surface of BinaryWriter and ASCIIWriter.
+type traceWriter interface {
+	WriteDescriptor(Descriptor) error
+	WriteRecord(Record) error
+	Flush() error
+}
+
+// WriteTrace encodes a full event trace — descriptor first, then one record
+// per event — in binary (ascii=false) or ASCII (ascii=true) form.
+func WriteTrace(w io.Writer, events []iotrace.Event, ascii bool) error {
+	var tw traceWriter
+	var err error
+	if ascii {
+		tw, err = NewASCIIWriter(w)
+	} else {
+		tw, err = NewBinaryWriter(w)
+	}
+	if err != nil {
+		return err
+	}
+	if err := tw.WriteDescriptor(EventDescriptor()); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := tw.WriteRecord(EventRecord(e)); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// traceReader is the common surface of BinaryReader and ASCIIReader.
+type traceReader interface {
+	Next() (any, error)
+}
+
+// ReadTrace decodes a trace written by WriteTrace, auto-detecting the
+// encoding from the stream header.
+func ReadTrace(r io.Reader) ([]iotrace.Event, error) {
+	// Sniff the first byte: binary streams start with 'S', ASCII with '#'.
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return nil, fmt.Errorf("%w: empty stream", ErrBadFormat)
+	}
+	combined := io.MultiReader(byteReader(first[0]), r)
+	var tr traceReader
+	var err error
+	if first[0] == '#' {
+		tr, err = NewASCIIReader(combined)
+	} else {
+		tr, err = NewBinaryReader(combined)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var events []iotrace.Event
+	for {
+		item, err := tr.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := item.(Record)
+		if !ok {
+			continue // descriptor
+		}
+		e, err := RecordEvent(rec)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+}
+
+// byteReader yields a single byte then EOF (for un-reading the sniffed byte).
+type singleByte struct {
+	b    byte
+	done bool
+}
+
+func byteReader(b byte) io.Reader { return &singleByte{b: b} }
+
+func (s *singleByte) Read(p []byte) (int, error) {
+	if s.done || len(p) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = s.b
+	s.done = true
+	return 1, nil
+}

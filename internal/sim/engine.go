@@ -1,0 +1,190 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// The engine is the substrate for the whole reproduction: the simulated Intel
+// Paragon XP/S machine model, the PFS parallel file system, and the
+// application skeletons all run as sim processes against one virtual clock.
+//
+// Concurrency model: processes are goroutines, but they execute in strict
+// lock-step with the engine — exactly one goroutine (either the engine or a
+// single process) runs at any instant. A process runs until it blocks on a
+// simulation primitive (Sleep, Park, Resource.Acquire, Barrier.Wait, ...),
+// which hands control back to the engine; the engine then pops the next event
+// from a stable priority queue (ordered by time, then by schedule sequence
+// number) and resumes the corresponding process. Because scheduling order is
+// a pure function of the event heap contents, identical inputs produce
+// identical traces, bit for bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine owns the virtual clock and the event queue, and coordinates the
+// lock-step execution of all simulation processes. The zero value is not
+// usable; call NewEngine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64 // monotonically increasing schedule sequence, breaks ties
+	nextID int
+
+	living  int // processes spawned and not yet finished
+	stopped bool
+	procs   map[int]*Process // live processes, for deadlock diagnostics
+}
+
+// NewEngine returns an engine with the clock at time zero and no processes.
+func NewEngine() *Engine {
+	return &Engine{procs: make(map[int]*Process)}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at  Time
+	seq uint64
+	p   *Process
+}
+
+// eventHeap is a min-heap of events ordered by (time, sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (e *Engine) schedule(p *Process, at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q in the past (%v < %v)", p.name, at, e.now))
+	}
+	if p.pendingWake {
+		panic(fmt.Sprintf("sim: process %q woken twice", p.name))
+	}
+	p.pendingWake = true
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, p: p})
+}
+
+// Spawn creates a new process named name executing fn and schedules it to
+// start at the current simulated time. It may be called before Run or from
+// within a running process.
+func (e *Engine) Spawn(name string, fn func(p *Process)) *Process {
+	return e.SpawnAt(name, 0, fn)
+}
+
+// SpawnAt creates a new process that starts after the given delay from the
+// current simulated time.
+func (e *Engine) SpawnAt(name string, delay Time, fn func(p *Process)) *Process {
+	if delay < 0 {
+		panic("sim: negative spawn delay")
+	}
+	e.nextID++
+	p := &Process{
+		eng:    e,
+		id:     e.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.living++
+	e.procs[p.id] = p
+	go func() {
+		<-p.resume // wait for the engine to start us
+		defer func() {
+			if r := recover(); r != nil {
+				// A real fault: crash loudly rather than yielding, so the
+				// runtime reports the panic with this goroutine's stack.
+				panic(r)
+			}
+			// Normal return, or runtime.Goexit (e.g. t.Fatal inside a
+			// process during tests): terminate the process cleanly so the
+			// engine keeps running.
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(p, e.now+delay)
+	return p
+}
+
+// step resumes process p and blocks until it yields control back.
+func (e *Engine) step(p *Process) {
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.done {
+		e.living--
+		delete(e.procs, p.id)
+	}
+}
+
+// Run executes events until the event queue drains or Stop is called. It
+// returns an error if processes remain blocked with no pending events
+// (deadlock) or if a process panicked with a simulation fault.
+func (e *Engine) Run() error {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= limit (limit < 0 means no
+// limit). Events beyond the limit stay queued, so the simulation can be
+// resumed with a later call.
+func (e *Engine) RunUntil(limit Time) error {
+	for len(e.events) > 0 && !e.stopped {
+		if limit >= 0 && e.events[0].at > limit {
+			return nil
+		}
+		ev := heap.Pop(&e.events).(event)
+		if ev.p.done {
+			continue // stale event for a finished process
+		}
+		e.now = ev.at
+		ev.p.pendingWake = false
+		e.step(ev.p)
+	}
+	if e.stopped {
+		return nil
+	}
+	if e.living > 0 {
+		return e.deadlockError()
+	}
+	return nil
+}
+
+// Stop halts Run after the currently running event completes. Blocked
+// processes are abandoned in place; Stop is intended for "simulate this many
+// frames then stop caring" scenarios, mirroring the paper's abbreviated
+// RENDER runs.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Living reports the number of processes spawned and not yet finished.
+func (e *Engine) Living() int { return e.living }
+
+func (e *Engine) deadlockError() error {
+	names := make([]string, 0, len(e.procs))
+	for _, p := range e.procs {
+		names = append(names, fmt.Sprintf("%s(id=%d,%s)", p.name, p.id, p.blockedOn))
+	}
+	sort.Strings(names)
+	const max = 12
+	shown := names
+	if len(shown) > max {
+		shown = shown[:max]
+	}
+	return fmt.Errorf("sim: deadlock at %v: %d processes blocked forever: %s",
+		e.now, e.living, strings.Join(shown, ", "))
+}

@@ -1,0 +1,465 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvancesWithSleep(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Spawn("sleeper", func(p *Process) {
+		p.Sleep(5 * Second)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*Second {
+		t.Fatalf("woke at %v, want 5s", at)
+	}
+	if e.Now() != 5*Second {
+		t.Fatalf("engine now %v, want 5s", e.Now())
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Process) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Process) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a1 b1 a2"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+}
+
+func TestDeterministicTieBreaking(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 20; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Process) {
+				p.Sleep(1 * Second) // all wake at the same instant
+				order = append(order, i)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order: %v vs %v", a, b)
+		}
+		if a[i] != i {
+			t.Fatalf("spawn-order ties broken wrong: %v", a)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("stuck", func(p *Process) {
+		p.Park("nothing")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEngine()
+	var childAt Time
+	e.Spawn("parent", func(p *Process) {
+		p.Sleep(3 * Second)
+		e.SpawnAt("child", 2*Second, func(c *Process) {
+			childAt = c.Now()
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 5*Second {
+		t.Fatalf("child ran at %v, want 5s", childAt)
+	}
+}
+
+func TestRunUntilPausesAndResumes(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Spawn("ticker", func(p *Process) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(10 * Second)
+			hits = append(hits, p.Now())
+		}
+	})
+	if err := e.RunUntil(25 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits before limit, want 2", len(hits))
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 4 || hits[3] != 40*Second {
+		t.Fatalf("resume failed: %v", hits)
+	}
+}
+
+func TestResourceFIFOAndMutualExclusion(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.SpawnAt(fmt.Sprintf("u%d", i), Time(i)*Millisecond, func(p *Process) {
+			r.Acquire(p)
+			p.Sleep(10 * Millisecond)
+			order = append(order, i)
+			r.Release(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	// 5 serialized 10 ms services starting at t=0 finish at 50 ms.
+	if e.Now() != 50*Millisecond {
+		t.Fatalf("end time %v, want 50ms", e.Now())
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "array", 2)
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("u%d", i), func(p *Process) {
+			r.Use(p, 10*Millisecond)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 jobs, 2 at a time: 20 ms total.
+	if e.Now() != 20*Millisecond {
+		t.Fatalf("end time %v, want 20ms", e.Now())
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "dev", 1)
+	for i := 0; i < 2; i++ {
+		e.Spawn("u", func(p *Process) { r.Use(p, 10*Millisecond) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.StatsAt(e.Now())
+	if st.Acquires != 2 {
+		t.Fatalf("acquires = %d, want 2", st.Acquires)
+	}
+	if st.Utilization < 0.99 || st.Utilization > 1.01 {
+		t.Fatalf("utilization = %f, want ~1", st.Utilization)
+	}
+	if st.TotalWait != 10*Millisecond {
+		t.Fatalf("total wait = %v, want 10ms", st.TotalWait)
+	}
+}
+
+func TestBarrierReleasesTogetherAndIsReusable(t *testing.T) {
+	e := NewEngine()
+	const n = 8
+	b := NewBarrier(e, "phase", n)
+	var times []Time
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("n%d", i), func(p *Process) {
+			for round := 0; round < 3; round++ {
+				p.Sleep(Time(i+1) * Millisecond) // stagger arrivals
+				b.Wait(p)
+				times = append(times, p.Now())
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3*n {
+		t.Fatalf("got %d releases, want %d", len(times), 3*n)
+	}
+	for round := 0; round < 3; round++ {
+		first := times[round*n]
+		for i := 0; i < n; i++ {
+			if times[round*n+i] != first {
+				t.Fatalf("round %d not released together: %v", round, times[round*n:round*n+n])
+			}
+		}
+	}
+	if b.Rounds() != 3 {
+		t.Fatalf("rounds = %d, want 3", b.Rounds())
+	}
+}
+
+func TestSequencerEnforcesOrder(t *testing.T) {
+	e := NewEngine()
+	s := NewSequencer(e, "msync")
+	var order []int
+	const n = 6
+	for i := 0; i < n; i++ {
+		i := i
+		// Spawn in reverse so arrival order opposes turn order.
+		e.SpawnAt(fmt.Sprintf("n%d", i), Time(n-i)*Millisecond, func(p *Process) {
+			s.WaitTurn(p, i)
+			order = append(order, i)
+			p.Sleep(1 * Millisecond)
+			s.Done(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequencer order violated: %v", order)
+		}
+	}
+}
+
+func TestQueueBlocksAndDelivers(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "mail")
+	var got []int
+	e.Spawn("consumer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.Spawn("producer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(1 * Second)
+			q.Put(p, i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[string](e, "m")
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue returned ok")
+	}
+	e.Spawn("p", func(p *Process) { q.Put(p, "x") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := q.TryGet()
+	if !ok || v != "x" {
+		t.Fatalf("TryGet = %q,%v", v, ok)
+	}
+}
+
+func TestCompletionAwaitBeforeAndAfterFire(t *testing.T) {
+	e := NewEngine()
+	c := NewCompletion("io")
+	var waited, lateWaited Time
+	e.Spawn("waiter", func(p *Process) {
+		waited = c.Await(p)
+	})
+	e.Spawn("late", func(p *Process) {
+		p.Sleep(10 * Second)
+		lateWaited = c.Await(p)
+	})
+	e.Spawn("firer", func(p *Process) {
+		p.Sleep(4 * Second)
+		c.Complete(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if waited != 4*Second {
+		t.Fatalf("early waiter waited %v, want 4s", waited)
+	}
+	if lateWaited != 0 {
+		t.Fatalf("late waiter waited %v, want 0", lateWaited)
+	}
+	if c.CompletedAt() != 4*Second {
+		t.Fatalf("completed at %v", c.CompletedAt())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Spawn("loop", func(p *Process) {
+		for {
+			p.Sleep(1 * Second)
+			count++
+			if count == 5 {
+				e.Stop()
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 || e.Now() != 5*Second {
+		t.Fatalf("count=%d now=%v", count, e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", func(p *Process) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative sleep did not panic")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	_ = e.Run()
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if FromMilliseconds(2.5) != 2500*Microsecond {
+		t.Fatalf("FromMilliseconds(2.5) = %v", FromMilliseconds(2.5))
+	}
+	if got := (90 * Second).Seconds(); got != 90 {
+		t.Fatalf("Seconds = %f", got)
+	}
+	if s := (Second + 345*Microsecond).String(); s != "1.000345s" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: the engine clock is monotonically non-decreasing across an
+// arbitrary mix of sleeps by several processes.
+func TestClockMonotonicProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var last Time
+		mono := true
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Process) {
+				for j := i; j < len(delays); j += 4 {
+					p.Sleep(Time(delays[j]) * Microsecond)
+					if p.Now() < last {
+						mono = false
+					}
+					last = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return mono
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for capacity-1 resources, total time equals the sum of service
+// times when all requests arrive at t=0 (perfect serialization, no overlap).
+func TestResourceSerializationProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		e := NewEngine()
+		r := NewResource(e, "d", 1)
+		var sum Time
+		for i, v := range raw {
+			d := Time(v) * Microsecond
+			sum += d
+			e.Spawn(fmt.Sprintf("u%d", i), func(p *Process) { r.Use(p, d) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return e.Now() == sum
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterministicAndSplit(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(42)
+	d := c.Split()
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("split stream identical to parent (suspicious)")
+	}
+}
+
+func TestRNGBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+		if n := r.Intn(13); n < 0 || n >= 13 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+		if u := r.Uniform(5, 9); u < 5 || u > 9 {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+	}
+	if r.Uniform(4, 4) != 4 {
+		t.Fatal("Uniform degenerate range")
+	}
+}
+
+func TestRNGJitterStaysClose(t *testing.T) {
+	r := NewRNG(3)
+	base := 100 * Millisecond
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(base, 0.25)
+		if j < 75*Millisecond || j > 125*Millisecond {
+			t.Fatalf("jitter out of band: %v", j)
+		}
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("zero jitter changed value")
+	}
+}

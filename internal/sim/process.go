@@ -1,0 +1,73 @@
+package sim
+
+import "fmt"
+
+// Process is a single thread of simulated activity — in this reproduction, a
+// compute node's program, an I/O node server, or a background policy daemon.
+// A Process must only be used from its own goroutine (inside the fn passed to
+// Spawn); the lock-step scheduler guarantees no two processes ever run
+// concurrently.
+type Process struct {
+	eng  *Engine
+	id   int
+	name string
+
+	resume chan struct{}
+	yield  chan struct{}
+
+	done        bool
+	pendingWake bool
+	blockedOn   string // diagnostic: what primitive the process is parked in
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// ID returns the process's unique id (assigned in spawn order).
+func (p *Process) ID() int { return p.id }
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now reports the current simulated time.
+func (p *Process) Now() Time { return p.eng.now }
+
+// block yields control to the engine and waits to be resumed.
+func (p *Process) block(why string) {
+	p.blockedOn = why
+	p.yield <- struct{}{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// Sleep advances this process's local activity by d: it blocks and resumes
+// once the simulated clock has advanced by d. Sleeping for zero time yields
+// to other processes scheduled at the same instant.
+func (p *Process) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v in %q", d, p.name))
+	}
+	p.eng.schedule(p, p.eng.now+d)
+	p.block("sleep")
+}
+
+// Park blocks the process indefinitely until some other process wakes it via
+// Wake. It is the building block for resources, barriers and queues. Parking
+// with nobody to wake you is a deadlock, which Engine.Run reports.
+func (p *Process) Park(why string) {
+	p.block(why)
+}
+
+// Wake schedules a parked process to resume at the current simulated time.
+// It must be called by the currently running process (or before Run starts).
+// Waking a process that already has a pending wake is a programming error and
+// panics, because it indicates two primitives both believe they own the
+// parked process.
+func (p *Process) Wake(target *Process) {
+	p.eng.schedule(target, p.eng.now)
+}
+
+// WakeAt schedules a parked process to resume at the given absolute time.
+func (p *Process) WakeAt(target *Process, at Time) {
+	p.eng.schedule(target, at)
+}

@@ -1,0 +1,202 @@
+// Package stats provides the descriptive statistics and fixed-bucket
+// histograms used throughout the characterization: the paper's off-line
+// analyses report "means, variances, minima, maxima, and distributions of
+// file operation durations and sizes" (§3.1), and its size tables bucket
+// requests at 4 KB, 64 KB and 256 KB boundaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds running descriptive statistics over a stream of float64
+// observations (Welford's algorithm, numerically stable).
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.sum += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Variance returns the population variance (0 with fewer than 2 samples).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Merge folds another summary into s, as if all its observations had been
+// added here (used to combine per-node statistics).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	mean := s.mean + d*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+	s.sum += o.sum
+}
+
+// PaperBuckets are the request-size bucket upper bounds of Tables 2, 4 and 6:
+// <4 KB, <64 KB, <256 KB, and >=256 KB (the final open bucket).
+var PaperBuckets = []int64{4 * 1024, 64 * 1024, 256 * 1024}
+
+// PaperBucketLabels are the column headings for PaperBuckets.
+var PaperBucketLabels = []string{"< 4 KB", "< 64 KB", "< 256 KB", ">= 256 KB"}
+
+// Histogram counts observations in half-open ranges defined by ascending
+// upper bounds, with one extra open-ended bucket at the top. Bucket i holds
+// values in [bounds[i-1], bounds[i]); the last bucket holds values >=
+// bounds[len-1].
+type Histogram struct {
+	bounds []int64
+	counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(bounds)+1)}
+}
+
+// NewPaperHistogram creates a histogram with the paper's size buckets.
+func NewPaperHistogram() *Histogram { return NewHistogram(PaperBuckets) }
+
+// Add counts one observation.
+func (h *Histogram) Add(v int64) {
+	h.total++
+	for i, b := range h.bounds {
+		if v < b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Buckets returns a copy of the per-bucket counts (len(bounds)+1 entries).
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Count returns the count in bucket i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// NumBuckets returns the number of buckets (bounds + 1).
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Merge adds another histogram's counts; the bucket bounds must match.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("stats: merging histograms with different bounds")
+	}
+	for i, b := range o.bounds {
+		if h.bounds[i] != b {
+			panic("stats: merging histograms with different bounds")
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// Percentile returns the p-th percentile (0..100) of a sample, by sorting a
+// copy. It returns 0 for an empty sample.
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

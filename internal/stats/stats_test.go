@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %f", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if math.Abs(s.Variance()-4) > 1e-9 {
+		t.Fatalf("variance = %f, want 4", s.Variance())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-9 {
+		t.Fatalf("stddev = %f, want 2", s.StdDev())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("sum = %f", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Variance() != 0 {
+		t.Fatal("empty summary not all-zero")
+	}
+}
+
+// Property: merging two summaries equals adding all observations to one.
+func TestSummaryMergeProperty(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		// Keep magnitudes in a physically plausible range; near-MaxFloat64
+		// inputs overflow any variance algorithm.
+		ok := func(v float64) bool {
+			return !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100
+		}
+		var all, left, right Summary
+		for _, v := range a {
+			if !ok(v) {
+				return true
+			}
+			all.Add(v)
+			left.Add(v)
+		}
+		for _, v := range b {
+			if !ok(v) {
+				return true
+			}
+			all.Add(v)
+			right.Add(v)
+		}
+		left.Merge(right)
+		if left.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		closeEnough := func(x, y float64) bool {
+			scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+			return math.Abs(x-y) <= 1e-6*scale
+		}
+		return closeEnough(left.Mean(), all.Mean()) &&
+			closeEnough(left.Variance(), all.Variance()) &&
+			left.Min() == all.Min() && left.Max() == all.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPaperBuckets(t *testing.T) {
+	h := NewPaperHistogram()
+	h.Add(0)
+	h.Add(4095)            // < 4 KB
+	h.Add(4096)            // < 64 KB
+	h.Add(64*1024 - 1)     // < 64 KB
+	h.Add(64 * 1024)       // < 256 KB
+	h.Add(256*1024 - 1)    // < 256 KB
+	h.Add(256 * 1024)      // >= 256 KB
+	h.Add(3 * 1024 * 1024) // >= 256 KB
+	want := []int64{2, 2, 2, 2}
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets %v, want %v", got, want)
+		}
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.NumBuckets() != 4 {
+		t.Fatalf("buckets %d", h.NumBuckets())
+	}
+}
+
+// Property: bucket counts always sum to the total.
+func TestHistogramTotalProperty(t *testing.T) {
+	prop := func(vals []int64) bool {
+		h := NewPaperHistogram()
+		for _, v := range vals {
+			h.Add(v)
+		}
+		var sum int64
+		for _, c := range h.Buckets() {
+			sum += c
+		}
+		return sum == h.Total() && h.Total() == int64(len(vals))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewPaperHistogram(), NewPaperHistogram()
+	a.Add(100)
+	b.Add(100_000)
+	b.Add(1_000_000)
+	a.Merge(b)
+	got := a.Buckets()
+	if got[0] != 1 || got[2] != 1 || got[3] != 1 || a.Total() != 3 {
+		t.Fatalf("merged %v total %d", got, a.Total())
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched merge did not panic")
+		}
+	}()
+	NewHistogram([]int64{10}).Merge(NewHistogram([]int64{20}))
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds did not panic")
+		}
+	}()
+	NewHistogram([]int64{10, 5})
+}
+
+func TestPercentile(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {90, 9.1},
+	}
+	for _, c := range cases {
+		if got := Percentile(sample, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%.0f = %f, want %f", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestSummaryMergeIntoEmptyAndFromEmpty(t *testing.T) {
+	var a, b Summary
+	b.Add(3)
+	b.Add(5)
+	a.Merge(b) // into empty
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Fatalf("merge into empty: %+v", a)
+	}
+	var empty Summary
+	a.Merge(empty) // from empty: unchanged
+	if a.N() != 2 || a.Min() != 3 || a.Max() != 5 {
+		t.Fatalf("merge from empty changed state: %+v", a)
+	}
+}
+
+func TestHistogramCountAccessor(t *testing.T) {
+	h := NewPaperHistogram()
+	h.Add(100)
+	h.Add(100_000)
+	if h.Count(0) != 1 || h.Count(2) != 1 || h.Count(3) != 0 {
+		t.Fatalf("counts %v", h.Buckets())
+	}
+}

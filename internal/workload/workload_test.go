@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/iotrace"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+func TestNewMachineBuildsConsistentTopology(t *testing.T) {
+	cfg := DefaultMachineConfig()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != 128 {
+		t.Fatalf("nodes %d", m.Nodes)
+	}
+	// Mesh must hold compute + I/O nodes.
+	if m.Mesh.Nodes() < cfg.ComputeNodes+cfg.PFS.IONodes {
+		t.Fatalf("mesh %d positions for %d+%d nodes",
+			m.Mesh.Nodes(), cfg.ComputeNodes, cfg.PFS.IONodes)
+	}
+	if len(m.PFS.IONodes()) != cfg.PFS.IONodes {
+		t.Fatalf("ionodes %d", len(m.PFS.IONodes()))
+	}
+}
+
+func TestNewMachineRejectsBadConfigs(t *testing.T) {
+	bad := DefaultMachineConfig()
+	bad.ComputeNodes = 0
+	if _, err := NewMachine(bad); err == nil {
+		t.Fatal("0 compute nodes accepted")
+	}
+	bad = DefaultMachineConfig()
+	bad.PFS.StripeUnit = 0
+	if _, err := NewMachine(bad); err == nil {
+		t.Fatal("invalid PFS config accepted")
+	}
+}
+
+// testApp is a trivial App used to exercise Run.
+type testApp struct {
+	fail    bool
+	ran     bool
+	ioDone  bool
+	errColl NodeErrors
+}
+
+func (a *testApp) Name() string { return "testapp" }
+
+func (a *testApp) Launch(m *Machine, fs FS) error {
+	if a.fail {
+		return errors.New("boom")
+	}
+	a.ran = true
+	m.Eng.Spawn("t", func(p *sim.Process) {
+		h, err := fs.Create(p, 0, "x", iotrace.ModeUnix)
+		if err != nil {
+			a.errColl.Addf("create: %v", err)
+			return
+		}
+		if _, err := h.Write(p, 1000); err != nil {
+			a.errColl.Addf("write: %v", err)
+			return
+		}
+		a.ioDone = true
+	})
+	return nil
+}
+
+func TestRunDrivesAppToCompletion(t *testing.T) {
+	m, err := NewMachine(MachineConfig{ComputeNodes: 4, PFS: pfs.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &testApp{}
+	if err := Run(m, WrapPFS(m.PFS), app); err != nil {
+		t.Fatal(err)
+	}
+	if !app.ran || !app.ioDone {
+		t.Fatalf("app state %+v", app)
+	}
+	if err := app.errColl.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSurfacesLaunchFailure(t *testing.T) {
+	m, _ := NewMachine(MachineConfig{ComputeNodes: 4, PFS: pfs.DefaultConfig()})
+	err := Run(m, WrapPFS(m.PFS), &testApp{fail: true})
+	if err == nil || err.Error() != "testapp: launch: boom" {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestNodeErrorsAggregation(t *testing.T) {
+	var ne NodeErrors
+	if ne.Err() != nil {
+		t.Fatal("empty NodeErrors not nil")
+	}
+	ne.Addf("first %d", 1)
+	ne.Addf("second")
+	err := ne.Err()
+	if err == nil {
+		t.Fatal("nil after Addf")
+	}
+	want := "2 node failures, first: first 1"
+	if err.Error() != want {
+		t.Fatalf("err %q, want %q", err.Error(), want)
+	}
+}
+
+func TestWrapPFSImplementsFullSurface(t *testing.T) {
+	m, err := NewMachine(MachineConfig{ComputeNodes: 4, PFS: pfs.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := WrapPFS(m.PFS)
+	fs.ReserveIDs(2)
+	if _, err := fs.Preload("pre", 100_000); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetPhase("ph")
+	if info, ok := fs.Stat("pre"); !ok || info.ID != 3 {
+		t.Fatalf("stat %+v %v", info, ok)
+	}
+	m.Eng.Spawn("t", func(p *sim.Process) {
+		h, err := fs.Open(p, 0, "pre", iotrace.ModeUnix)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ar, err := h.ReadAsync(p, 50_000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if n, err := ar.Wait(p); err != nil || n != 50_000 {
+			t.Errorf("async n=%d err=%v", n, err)
+		}
+		if !ar.Done() || ar.Bytes() != 50_000 {
+			t.Error("async state")
+		}
+		hr, err := fs.OpenRecord(p, 1, "pre", 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := hr.Read(p, 4096); err != nil {
+			t.Error(err)
+		}
+		if err := h.SetIOMode(p, iotrace.ModeAsync, 0); err != nil {
+			t.Error(err)
+		}
+		if h.Mode() != iotrace.ModeAsync {
+			t.Error("mode not switched")
+		}
+		if _, err := h.Lsize(p); err != nil {
+			t.Error(err)
+		}
+		if err := h.Flush(p); err != nil {
+			t.Error(err)
+		}
+		if err := h.Close(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

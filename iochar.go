@@ -1,0 +1,67 @@
+// Package iochar is the public API of this reproduction of "Input/Output
+// Characteristics of Scalable Parallel Applications" (Crandall, Aydt, Chien,
+// Reed; Supercomputing '95).
+//
+// It re-exports the characterization surface from the internal packages: a
+// Study composes a simulated Intel Paragon XP/S with PFS, one of the paper's
+// three application skeletons (ESCAT, RENDER, HTF), Pablo-style
+// instrumentation, and optional PPFS client policies; Run produces a Report
+// from which every table and figure of the paper regenerates.
+//
+// Quick start:
+//
+//	report, err := iochar.Run(iochar.PaperStudy(iochar.ESCAT))
+//	if err != nil { ... }
+//	for _, table := range report.Tables() {
+//	    fmt.Println(table)
+//	}
+package iochar
+
+import (
+	"repro/internal/core"
+	"repro/internal/ppfs"
+)
+
+// AppID names one of the characterized applications.
+type AppID = core.AppID
+
+// The three applications of the paper's initial SIO code suite.
+const (
+	ESCAT  = core.ESCAT
+	RENDER = core.RENDER
+	HTF    = core.HTF
+)
+
+// Study describes one characterization run; see core.Study.
+type Study = core.Study
+
+// Report is a completed run's traces, tables and reductions.
+type Report = core.Report
+
+// Figure is one reproduced paper figure.
+type Figure = core.Figure
+
+// Policy selects PPFS client-side behaviors for policy studies.
+type Policy = ppfs.Policy
+
+// CrossoverModel is the §7.2 recompute-vs-reread analysis.
+type CrossoverModel = core.CrossoverModel
+
+// Apps lists the available applications.
+func Apps() []AppID { return core.Apps() }
+
+// PaperStudy returns the study reproducing the paper's traced run of app.
+func PaperStudy(app AppID) Study { return core.PaperStudy(app) }
+
+// SmallStudy returns a fast, reduced-scale study of app.
+func SmallStudy(app AppID) Study { return core.SmallStudy(app) }
+
+// Run executes a study to completion.
+func Run(s Study) (*Report, error) { return core.Run(s) }
+
+// DefaultPolicy returns the §5.2 experiment's PPFS policies (write-behind,
+// aggregation, caching, sequential prefetch).
+func DefaultPolicy() Policy { return ppfs.DefaultPolicy() }
+
+// DefaultCrossoverModel returns the paper-calibrated §7.2 parameters.
+func DefaultCrossoverModel() CrossoverModel { return core.DefaultCrossoverModel() }
