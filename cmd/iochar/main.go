@@ -7,18 +7,22 @@
 //
 //	iochar -app escat [-small] [-policy none|ppfs|adaptive]
 //	       [-trace FILE] [-trace-ascii] [-window SECONDS] [-figures DIR]
+//	       [-mtbf SECONDS -seed N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/iotrace"
+	"repro/internal/pfs"
 	"repro/internal/ppfs"
 	"repro/internal/sddf"
 	"repro/internal/sim"
@@ -27,16 +31,29 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iochar: ")
-	app := flag.String("app", "escat", "application to run (escat, render, htf)")
-	small := flag.Bool("small", false, "reduced-scale configuration (fast)")
-	policy := flag.String("policy", "none", "file system policy layer: none, ppfs, adaptive")
-	traceFile := flag.String("trace", "", "write the SDDF event trace to this file")
-	traceASCII := flag.Bool("trace-ascii", false, "write the trace in ASCII SDDF instead of binary")
-	summaryFile := flag.String("summaries", "", "write the Pablo reductions as SDDF records to this file")
-	jsonFile := flag.String("json", "", "write the characterization results as JSON to this file")
-	window := flag.Float64("window", 10, "time-window reduction width in seconds")
-	figures := flag.String("figures", "", "write figure CSV/ASCII files to this directory")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("iochar", flag.ContinueOnError)
+	app := fs.String("app", "escat", "application to run (escat, render, htf)")
+	small := fs.Bool("small", false, "reduced-scale configuration (fast)")
+	policy := fs.String("policy", "none", "file system policy layer: none, ppfs, adaptive")
+	traceFile := fs.String("trace", "", "write the SDDF event trace to this file")
+	traceASCII := fs.Bool("trace-ascii", false, "write the trace in ASCII SDDF instead of binary")
+	summaryFile := fs.String("summaries", "", "write the Pablo reductions as SDDF records to this file")
+	jsonFile := fs.String("json", "", "write the characterization results as JSON to this file")
+	window := fs.Float64("window", 10, "time-window reduction width in seconds")
+	figures := fs.String("figures", "", "write figure CSV/ASCII files to this directory")
+	mtbf := fs.Float64("mtbf", 0, "inject I/O-node outages with this exponential mean time between failures in seconds (0 = none)")
+	outage := fs.Float64("outage", 5, "duration in seconds of each injected outage")
+	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting faults after this many simulated seconds")
+	seed := fs.Uint64("seed", 0, "seed for the injected-fault schedule")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var study core.Study
 	if *small {
@@ -56,100 +73,119 @@ func main() {
 		pol.Adaptive = true
 		study.Policy = &pol
 	default:
-		log.Fatalf("unknown policy %q", *policy)
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	if *mtbf > 0 {
+		// Chaos runs need the failover policy on (with replication) so the
+		// application survives the injected outages.
+		study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
+		study.Machine.PFS.Failover.Replicate = true
+		study.Faults = fault.Plan{Exps: []fault.Exp{{
+			Kind:        fault.IONodeOutage,
+			MeanBetween: sim.FromSeconds(*mtbf),
+			Start:       0, End: sim.FromSeconds(*chaosWindow),
+			Node:     fault.AnyNode,
+			Duration: sim.FromSeconds(*outage),
+		}}}
+		study.FaultSeed = *seed
 	}
 
 	report, err := core.Run(study)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("%s: wall clock %.2f s, %d I/O events\n\n", *app, report.Wall.Seconds(), len(report.Events))
+	fmt.Fprintf(out, "%s: wall clock %.2f s, %d I/O events\n\n", *app, report.Wall.Seconds(), len(report.Events))
 	for _, table := range report.Tables() {
-		fmt.Println(table)
+		fmt.Fprintln(out, table)
 	}
-	printLifetimes(report)
-	fmt.Println(analysis.RenderPurposes(report.Purposes()))
-	fmt.Println(analysis.RenderPatternSummary(report.Events))
-	fmt.Println(analysis.RenderActivity(report.Windows, 72))
+	printLifetimes(out, report)
+	fmt.Fprintln(out, analysis.RenderPurposes(report.Purposes()))
+	fmt.Fprintln(out, analysis.RenderPatternSummary(report.Events))
+	fmt.Fprintln(out, analysis.RenderActivity(report.Windows, 72))
 	if report.PolicyStats != nil {
 		s := *report.PolicyStats
-		fmt.Printf("PPFS policy activity: %d buffered writes, %d direct, %d flush extents (mean %s), %d drains, %d prefetches\n\n",
+		fmt.Fprintf(out, "PPFS policy activity: %d buffered writes, %d direct, %d flush extents (mean %s), %d drains, %d prefetches\n\n",
 			s.BufferedWrites, s.DirectWrites, s.Flushes,
 			analysis.HumanBytes(s.MeanFlushExtent()), s.Drains, s.Prefetches)
+	}
+	if len(report.Incidents) > 0 {
+		fmt.Fprintln(out, analysis.RenderResilience(report.Resilience()))
 	}
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := sddf.WriteTrace(f, report.Events, *traceASCII); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("trace: %d events -> %s\n", len(report.Events), *traceFile)
+		fmt.Fprintf(out, "trace: %d events -> %s\n", len(report.Events), *traceFile)
 	}
 
 	if *jsonFile != "" {
 		f, err := os.Create(*jsonFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := report.WriteJSON(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("json -> %s\n", *jsonFile)
+		fmt.Fprintf(out, "json -> %s\n", *jsonFile)
 	}
 
 	if *summaryFile != "" {
 		f, err := os.Create(*summaryFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := sddf.WriteSummaries(f, *traceASCII, report.Lifetime, report.Windows, nil, report.Wall); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("summaries -> %s\n", *summaryFile)
+		fmt.Fprintf(out, "summaries -> %s\n", *summaryFile)
 	}
 
 	if *figures != "" {
 		if err := os.MkdirAll(*figures, 0o755); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for _, fig := range report.Figures() {
 			f, err := os.Create(filepath.Join(*figures, fig.ID+".csv"))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := analysis.WriteCSV(f, fig.Points); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			f.Close()
 			txt := analysis.RenderScatter(fig.Points, analysis.PlotOptions{Title: fig.Title, LogY: fig.LogY})
 			if err := os.WriteFile(filepath.Join(*figures, fig.ID+".txt"), []byte(txt), 0o644); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
-		fmt.Printf("figures: %d -> %s\n", len(report.Figures()), *figures)
+		fmt.Fprintf(out, "figures: %d -> %s\n", len(report.Figures()), *figures)
 	}
+	return nil
 }
 
 // printLifetimes shows the Pablo file-lifetime reduction.
-func printLifetimes(r *core.Report) {
-	fmt.Println("File lifetime summary (Pablo reduction):")
-	fmt.Printf("%4s %8s %8s %8s %12s %12s %12s\n",
+func printLifetimes(out io.Writer, r *core.Report) {
+	fmt.Fprintln(out, "File lifetime summary (Pablo reduction):")
+	fmt.Fprintf(out, "%4s %8s %8s %8s %12s %12s %12s\n",
 		"file", "reads", "writes", "seeks", "bytes read", "bytes written", "open time")
 	for _, f := range r.Lifetime.Files() {
-		fmt.Printf("%4d %8d %8d %8d %12s %12s %12.2fs\n",
+		fmt.Fprintf(out, "%4d %8d %8d %8d %12s %12s %12.2fs\n",
 			f.File,
 			f.Count[iotrace.OpRead]+f.Count[iotrace.OpAsyncRead],
 			f.Count[iotrace.OpWrite],
@@ -158,5 +194,5 @@ func printLifetimes(r *core.Report) {
 			analysis.HumanBytes(f.BytesWritten),
 			f.FinalOpenTime(r.Wall).Seconds())
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSmokeSmallRunDeterministic(t *testing.T) {
+	capture := func() string {
+		var buf bytes.Buffer
+		if err := run([]string{"-app", "escat", "-small"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := capture(), capture()
+	if a == "" {
+		t.Fatal("no output")
+	}
+	if a != b {
+		t.Error("two identical runs produced different output")
+	}
+	for _, want := range []string{"escat: wall clock", "I/O operations", "File lifetime summary"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSmokeChaosRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-app", "escat", "-small", "-mtbf", "3", "-outage", "0.5", "-seed", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Resilience report:") {
+		t.Errorf("chaos run printed no resilience report:\n%.400s", buf.String())
+	}
+}
+
+func TestSmokeBadPolicy(t *testing.T) {
+	if err := run([]string{"-small", "-policy", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -22,10 +23,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperrepro: ")
-	appFilter := flag.String("app", "", "run only this application (escat, render, htf)")
-	outDir := flag.String("out", "out", "directory for figure data and renderings")
-	noFigures := flag.Bool("no-figures", false, "skip writing figure files")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	appFilter := fs.String("app", "", "run only this application (escat, render, htf)")
+	outDir := fs.String("out", "out", "directory for figure data and renderings")
+	noFigures := fs.Bool("no-figures", false, "skip writing figure files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	apps := core.Apps()
 	if *appFilter != "" {
@@ -35,49 +45,50 @@ func main() {
 	for _, app := range apps {
 		report, err := core.Run(core.PaperStudy(app))
 		if err != nil {
-			log.Fatalf("%s: %v", app, err)
+			return fmt.Errorf("%s: %v", app, err)
 		}
-		fmt.Printf("==== %s (wall clock %.0f s, %d events) ====\n\n",
+		fmt.Fprintf(out, "==== %s (wall clock %.0f s, %d events) ====\n\n",
 			app, report.Wall.Seconds(), len(report.Events))
 
 		for _, pt := range core.PaperTables() {
 			if pt.App == app {
-				fmt.Println(core.CompareTable(pt, report))
+				fmt.Fprintln(out, core.CompareTable(pt, report))
 			}
 		}
 		for _, st := range core.PaperSizeTables() {
 			if st.App == app {
-				fmt.Println(core.CompareSizeTable(st, report))
+				fmt.Fprintln(out, core.CompareSizeTable(st, report))
 			}
 		}
-		printHeadlines(app, report)
+		printHeadlines(out, app, report)
 
 		if !*noFigures {
-			if err := writeFigures(*outDir, app, report); err != nil {
-				log.Fatalf("%s: %v", app, err)
+			if err := writeFigures(out, *outDir, app, report); err != nil {
+				return fmt.Errorf("%s: %v", app, err)
 			}
 		}
 	}
+	return nil
 }
 
 // printHeadlines reports the running-text claims each application supports.
-func printHeadlines(app core.AppID, r *core.Report) {
+func printHeadlines(out io.Writer, app core.AppID, r *core.Report) {
 	switch app {
 	case core.ESCAT:
 		early, late, bursts := r.WriteBurstTrend(30_000_000) // 30 s in µs
-		fmt.Printf("Figure 4 burst structure: %d bursts, spacing %.0f s early -> %.0f s late (paper: ~160 -> ~80)\n\n",
+		fmt.Fprintf(out, "Figure 4 burst structure: %d bursts, spacing %.0f s early -> %.0f s late (paper: ~160 -> ~80)\n\n",
 			bursts, early.Seconds(), late.Seconds())
 	case core.RENDER:
-		fmt.Printf("§6.2 initialization read throughput: %.1f MB/s (paper: ~9.5)\n\n",
+		fmt.Fprintf(out, "§6.2 initialization read throughput: %.1f MB/s (paper: ~9.5)\n\n",
 			r.InitReadThroughput()/1e6)
 	case core.HTF:
 		m := core.DefaultCrossoverModel()
-		fmt.Printf("§7.2 recompute-vs-reread break-even: %.1f MB/s per node (paper: 5-10)\n\n",
+		fmt.Fprintf(out, "§7.2 recompute-vs-reread break-even: %.1f MB/s per node (paper: 5-10)\n\n",
 			m.BreakEvenRate()/1e6)
 	}
 }
 
-func writeFigures(dir string, app core.AppID, r *core.Report) error {
+func writeFigures(out io.Writer, dir string, app core.AppID, r *core.Report) error {
 	sub := filepath.Join(dir, string(app))
 	if err := os.MkdirAll(sub, 0o755); err != nil {
 		return err
@@ -109,9 +120,9 @@ func writeFigures(dir string, app core.AppID, r *core.Report) error {
 		if err := os.WriteFile(filepath.Join(sub, fig.ID+".svg"), []byte(svg), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d points) plus .txt and .svg renderings\n", csvPath, len(fig.Points))
+		fmt.Fprintf(out, "wrote %s (%d points) plus .txt and .svg renderings\n", csvPath, len(fig.Points))
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	return nil
 }
 

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSmokePaperTablesDeterministic(t *testing.T) {
+	capture := func() string {
+		var buf bytes.Buffer
+		if err := run([]string{"-app", "escat", "-no-figures"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := capture(), capture()
+	if a == "" || a != b {
+		t.Error("paperrepro output empty or nondeterministic")
+	}
+	for _, want := range []string{"==== escat", "paper", "Figure 4 burst structure"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSmokeFigures(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-app", "escat", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "plus .txt and .svg renderings") {
+		t.Errorf("no figure files reported:\n%.400s", buf.String())
+	}
+}

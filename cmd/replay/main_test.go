@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sddf"
+)
+
+// captureTrace writes a small ESCAT trace to an SDDF file for the smoke runs.
+func captureTrace(t *testing.T) string {
+	t.Helper()
+	r, err := core.Run(core.SmallStudy(core.ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "escat.sddf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sddf.WriteTrace(f, r.Events, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSmokeReplayDeterministic(t *testing.T) {
+	trace := captureTrace(t)
+	capture := func(args ...string) string {
+		var buf bytes.Buffer
+		if err := run(append(args, trace), &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := capture(), capture()
+	if a == "" || a != b {
+		t.Error("replay output empty or nondeterministic")
+	}
+	if !strings.Contains(a, "Replayed operation summary") {
+		t.Errorf("output missing summary:\n%.400s", a)
+	}
+
+	j1 := capture("-jitter", "0.3", "-seed", "5")
+	j2 := capture("-jitter", "0.3", "-seed", "5")
+	if j1 != j2 {
+		t.Error("same-seed jittered replays differ")
+	}
+	if j3 := capture("-jitter", "0.3", "-seed", "6"); j3 == j1 {
+		t.Error("different seeds gave identical jittered replay")
+	}
+}
+
+func TestSmokeReplayUsage(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing trace argument accepted")
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -20,48 +21,58 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sddfdump: ")
-	summary := flag.Bool("summary", true, "print an operation summary")
-	events := flag.Int("events", 0, "print the first N events")
-	convert := flag.String("convert", "", "re-encode the trace to this file")
-	ascii := flag.Bool("ascii", false, "use ASCII SDDF for -convert output")
-	flag.Parse()
-
-	if flag.NArg() != 1 {
-		log.Fatal("usage: sddfdump [flags] FILE")
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sddfdump", flag.ContinueOnError)
+	summary := fs.Bool("summary", true, "print an operation summary")
+	events := fs.Int("events", 0, "print the first N events")
+	convert := fs.String("convert", "", "re-encode the trace to this file")
+	ascii := fs.Bool("ascii", false, "use ASCII SDDF for -convert output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sddfdump [flags] FILE")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
 	}
 	trace, err := sddf.ReadTrace(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%s: %d events\n\n", flag.Arg(0), len(trace))
+	fmt.Fprintf(out, "%s: %d events\n\n", fs.Arg(0), len(trace))
 
 	if *summary {
-		fmt.Println(analysis.Summarize(trace).Render("Operation summary"))
-		fmt.Println(analysis.Sizes(trace).Render("Request sizes"))
+		fmt.Fprintln(out, analysis.Summarize(trace).Render("Operation summary"))
+		fmt.Fprintln(out, analysis.Sizes(trace).Render("Request sizes"))
 	}
 	for i := 0; i < *events && i < len(trace); i++ {
 		e := trace[i]
-		fmt.Printf("%10.6fs node=%-3d %-10s file=%-3d off=%-10d bytes=%-8d dur=%.6fs mode=%s phase=%q\n",
+		fmt.Fprintf(out, "%10.6fs node=%-3d %-10s file=%-3d off=%-10d bytes=%-8d dur=%.6fs mode=%s phase=%q\n",
 			e.Start.Seconds(), e.Node, e.Op, e.File, e.Offset, e.Bytes,
 			e.Duration().Seconds(), e.Mode, e.Phase)
 	}
 
 	if *convert != "" {
-		out, err := os.Create(*convert)
+		o, err := os.Create(*convert)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := sddf.WriteTrace(out, trace, *ascii); err != nil {
-			log.Fatal(err)
+		if err := sddf.WriteTrace(o, trace, *ascii); err != nil {
+			return err
 		}
-		if err := out.Close(); err != nil {
-			log.Fatal(err)
+		if err := o.Close(); err != nil {
+			return err
 		}
-		fmt.Printf("converted to %s (ascii=%v)\n", *convert, *ascii)
+		fmt.Fprintf(out, "converted to %s (ascii=%v)\n", *convert, *ascii)
 	}
+	return nil
 }

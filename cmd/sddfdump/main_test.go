@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sddf"
+)
+
+func TestSmokeDumpAndConvert(t *testing.T) {
+	r, err := core.Run(core.SmallStudy(core.ESCAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "escat.sddf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sddf.WriteTrace(f, r.Events, false); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	capture := func(args ...string) string {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	conv := filepath.Join(dir, "escat.ascii.sddf")
+	a := capture("-events", "3", "-convert", conv, "-ascii", path)
+	if a != capture("-events", "3", "-convert", conv, "-ascii", path) {
+		t.Error("dump output nondeterministic")
+	}
+	for _, want := range []string{"Operation summary", "Request sizes", "node=", "converted to"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The converted ASCII file must round-trip.
+	cf, err := os.Open(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sddf.ReadTrace(cf)
+	cf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(r.Events) {
+		t.Errorf("round-trip %d events, want %d", len(back), len(r.Events))
+	}
+}
+
+func TestSmokeDumpUsage(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file argument accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+)
+
+func TestExposuresUnionsOverlaps(t *testing.T) {
+	incs := []fault.Incident{
+		{Kind: fault.IONodeOutage, Start: 1 * sim.Second, End: 3 * sim.Second},
+		{Kind: fault.IONodeOutage, Start: 2 * sim.Second, End: 4 * sim.Second},
+		{Kind: fault.IONodeOutage, Start: 10 * sim.Second, End: 11 * sim.Second},
+		{Kind: fault.DiskFailure, Start: 0, End: 5 * sim.Second},
+		{Kind: fault.LatencyStorm, Start: 6 * sim.Second, End: 6 * sim.Second}, // empty
+	}
+	e := Exposures(incs)
+	if e.Outage != 4*sim.Second {
+		t.Errorf("outage exposure = %v, want 4s (3s merged + 1s)", e.Outage)
+	}
+	if e.Degraded != 5*sim.Second {
+		t.Errorf("degraded exposure = %v, want 5s", e.Degraded)
+	}
+	if e.Storm != 0 {
+		t.Errorf("storm exposure = %v, want 0", e.Storm)
+	}
+}
+
+func TestFaultImpactsSlowdown(t *testing.T) {
+	ev := func(start, dur sim.Time) iotrace.Event {
+		return iotrace.Event{Start: start, End: start + dur}
+	}
+	events := []iotrace.Event{
+		ev(0, 10*sim.Millisecond),                    // baseline
+		ev(100*sim.Millisecond, 10*sim.Millisecond),  // baseline
+		ev(1*sim.Second, 40*sim.Millisecond),         // inside incident
+		ev(1200*sim.Millisecond, 20*sim.Millisecond), // inside incident
+	}
+	incs := []fault.Incident{{
+		Kind: fault.LatencyStorm, Node: 2,
+		Start: 900 * sim.Millisecond, End: 2 * sim.Second,
+	}}
+	fis := FaultImpacts(events, incs)
+	if len(fis) != 1 {
+		t.Fatalf("impacts = %d, want 1", len(fis))
+	}
+	fi := fis[0]
+	if fi.Ops != 2 {
+		t.Errorf("ops = %d, want 2", fi.Ops)
+	}
+	if fi.BaselineMean != 10*sim.Millisecond {
+		t.Errorf("baseline mean = %v, want 10ms", fi.BaselineMean)
+	}
+	if fi.MeanLatency != 30*sim.Millisecond {
+		t.Errorf("mean = %v, want 30ms", fi.MeanLatency)
+	}
+	if fi.Slowdown != 3.0 {
+		t.Errorf("slowdown = %v, want 3.0", fi.Slowdown)
+	}
+}
+
+func TestRenderResilience(t *testing.T) {
+	r := ResilienceReport{
+		Wall: 12 * sim.Second, Attempts: 2, Failures: 1,
+		LostWork: 800 * sim.Millisecond, Checkpoints: 3,
+		CkptOverhead: 120 * sim.Millisecond, Restores: 8,
+		Exposure: Exposure{Outage: 1200 * sim.Millisecond},
+		Impacts: []FaultImpact{{
+			Incident: fault.Incident{Kind: fault.IONodeOutage, Node: 3,
+				Start: 4 * sim.Second, End: 5 * sim.Second},
+			Ops: 7, MeanLatency: 30 * sim.Millisecond,
+			BaselineMean: 10 * sim.Millisecond, Slowdown: 3,
+		}},
+		Reroutes: 5,
+	}
+	s := RenderResilience(r)
+	for _, want := range []string{
+		"Resilience report:", "2 attempts, 1 failures", "lost work",
+		"0.800s", "per-fault latency impact", "ionode-outage", "3.00x",
+		"5 reroutes",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderTradeoff(t *testing.T) {
+	s := RenderTradeoff([]TradeoffPoint{
+		{Interval: 0, LostWork: 6 * sim.Second, Wall: 20 * sim.Second},
+		{Interval: 2, Checkpoints: 4, Overhead: 500 * sim.Millisecond,
+			LostWork: 1 * sim.Second, Wall: 15 * sim.Second},
+	})
+	for _, want := range []string{"Checkpoint interval tradeoff", "none", "6.000s", "0.500s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -42,6 +42,13 @@ type Config struct {
 	OutputWrites    int      // small matrix writes per output file (6)
 	OutputBytes     int64    // size of each output write (~1.5 KB)
 	Seed            uint64
+
+	// Ckpt, when non-nil, checkpoints the quadrature loop: every node
+	// reports each completed iteration and the coordinator periodically
+	// writes a consistent checkpoint. On a restart (ResumeUnit > 0) the
+	// skeleton skips initialization, restores node state from the
+	// checkpoint file, and resumes the loop at the committed iteration.
+	Ckpt workload.Checkpointer
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -176,6 +183,22 @@ func (a *App) Launch(m *workload.Machine, fs workload.FS) error {
 		return fmt.Errorf("escat: config wants %d nodes, machine has %d", cfg.Nodes, m.Nodes)
 	}
 
+	// A configured checkpointer may resume the quadrature loop mid-way: the
+	// machine is freshly built after a crash, so the staging files must be
+	// pre-populated with exactly the extent the completed iterations had
+	// produced (node Nodes-1's region start plus resume records).
+	resume := 0
+	if cfg.Ckpt != nil {
+		resume = cfg.Ckpt.ResumeUnit()
+	}
+	if resume > cfg.Iterations {
+		return fmt.Errorf("escat: resume unit %d beyond %d iterations", resume, cfg.Iterations)
+	}
+	var quadSize int64
+	if resume > 0 {
+		quadSize = int64(cfg.Nodes-1)*a.regionBytes() + int64(resume)*cfg.QuadRecordBytes
+	}
+
 	// File id layout mirrors Figure 5 (descriptor-style numbering): ids 0-2
 	// are the standard streams, outputs land on 3-5, id 6 is the job
 	// control stream, staging on 7-8, inputs on 9-11.
@@ -190,7 +213,7 @@ func (a *App) Launch(m *workload.Machine, fs workload.FS) error {
 	quadNames := make([]string, cfg.OutcomeFiles)
 	for i := range quadNames {
 		quadNames[i] = fmt.Sprintf("escat.quad%d", i)
-		if _, err := fs.Preload(quadNames[i], 0); err != nil {
+		if _, err := fs.Preload(quadNames[i], quadSize); err != nil {
 			return fmt.Errorf("escat: %w", err)
 		}
 	}
@@ -207,6 +230,7 @@ func (a *App) Launch(m *workload.Machine, fs workload.FS) error {
 	}
 
 	var errs workload.NodeErrors
+	errs.Attach(m.Eng)
 	initDone := sim.NewCompletion("escat-init")
 	cycle := sim.NewBarrier(m.Eng, "escat-cycle", cfg.Nodes)
 	reload := sim.NewBarrier(m.Eng, "escat-reload", cfg.Nodes)
@@ -220,15 +244,25 @@ func (a *App) Launch(m *workload.Machine, fs workload.FS) error {
 		node := node
 		m.Eng.Spawn(fmt.Sprintf("escat-n%d", node), func(p *sim.Process) {
 			if node == 0 {
-				if err := a.runInit(p, m, fs, profiles, inNames); err != nil {
-					errs.Addf("node 0 init: %v", err)
+				// A restart resumes from the checkpoint, not from the
+				// inputs: initialization is already covered.
+				if resume == 0 {
+					if err := a.runInit(p, m, fs, profiles, inNames); err != nil {
+						errs.Addf("node 0 init: %v", err)
+					}
 				}
 				fs.SetPhase(PhaseQuadrature)
 				initDone.Complete(p)
 			} else {
 				initDone.Await(p)
 			}
-			if err := a.runQuadrature(p, fs, node, quadNames, nodeRNG[node], cycle); err != nil {
+			if resume > 0 {
+				if err := cfg.Ckpt.Restore(p, fs, node); err != nil {
+					errs.Addf("node %d restore: %v", node, err)
+					return
+				}
+			}
+			if err := a.runQuadrature(p, fs, node, resume, quadNames, nodeRNG[node], cycle); err != nil {
 				errs.Addf("node %d quadrature: %v", node, err)
 				return // a lost node would deadlock the barrier group
 			}
@@ -287,7 +321,7 @@ func (a *App) runInit(p *sim.Process, m *workload.Machine, fs workload.FS,
 // runQuadrature is every node's synchronized compute/seek/write loop plus
 // the M_RECORD reload.
 func (a *App) runQuadrature(p *sim.Process, fs workload.FS,
-	node int, quadNames []string, rng *sim.RNG, cycle *sim.Barrier) error {
+	node, resume int, quadNames []string, rng *sim.RNG, cycle *sim.Barrier) error {
 	handles := make([]workload.Handle, len(quadNames))
 	for i, name := range quadNames {
 		h, err := fs.Open(p, node, name, iotrace.ModeUnix)
@@ -298,14 +332,14 @@ func (a *App) runQuadrature(p *sim.Process, fs workload.FS,
 	}
 	region := a.regionBytes()
 	span := float64(a.cfg.ComputeStart - a.cfg.ComputeEnd)
-	// Position each file's pointer at this node's region before the first
-	// cycle.
+	// Position each file's pointer at this node's region — at the resumed
+	// iteration's record on a restart — before the first cycle.
 	for _, h := range handles {
-		if _, err := h.Seek(p, int64(node)*region, pfs.SeekStart); err != nil {
+		if _, err := h.Seek(p, int64(node)*region+int64(resume)*a.cfg.QuadRecordBytes, pfs.SeekStart); err != nil {
 			return err
 		}
 	}
-	for it := 0; it < a.cfg.Iterations; it++ {
+	for it := resume; it < a.cfg.Iterations; it++ {
 		frac := 0.0
 		if a.cfg.Iterations > 1 {
 			frac = float64(it) / float64(a.cfg.Iterations-1)
@@ -327,6 +361,11 @@ func (a *App) runQuadrature(p *sim.Process, fs workload.FS,
 				if _, err := h.Seek(p, target, pfs.SeekStart); err != nil {
 					return err
 				}
+			}
+		}
+		if a.cfg.Ckpt != nil {
+			if err := a.cfg.Ckpt.AfterUnit(p, fs, node, it); err != nil {
+				return err
 			}
 		}
 	}
@@ -381,4 +420,13 @@ func (a *App) Err() error {
 		return nil
 	}
 	return a.errs.Err()
+}
+
+// FailedAt returns the simulated instant of the run's first node failure, if
+// any — the fault-injection driver's lost-work anchor.
+func (a *App) FailedAt() (sim.Time, bool) {
+	if a.errs == nil {
+		return 0, false
+	}
+	return a.errs.FirstAt()
 }

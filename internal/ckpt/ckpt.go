@@ -1,0 +1,199 @@
+// Package ckpt implements coordinated checkpoint/restart for the application
+// skeletons — the defensive-I/O pattern of §2's purpose taxonomy, here used
+// to carry runs across injected faults. An application structured as numbered
+// work units calls the Coordinator at each unit boundary; on checkpoint units
+// every node rendezvouses, writes its state slice to a shared checkpoint
+// file, and the checkpoint commits once all slices are durable. After a fatal
+// fault the driver rebuilds the machine and the application resumes from the
+// last committed unit, re-reading the checkpoint; work after the commit is
+// lost and accounted as such.
+//
+// The Coordinator persists across machine rebuilds (attempts) — that is the
+// point: its committed unit and commit instant survive the crash, everything
+// else is rebuilt via Prepare.
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/iotrace"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PhaseCheckpoint labels trace events issued inside checkpoint rounds, so the
+// analysis side can separate defensive I/O from the application's own.
+const PhaseCheckpoint = "checkpoint"
+
+// Config parameterizes the checkpoint policy.
+type Config struct {
+	// Interval checkpoints after every Interval-th work unit (1 = every
+	// unit). Zero or negative disables periodic checkpoints — the
+	// Coordinator then only tracks units for restart bookkeeping.
+	Interval int
+
+	// BytesPerNode is each node's state slice size.
+	BytesPerNode int64
+
+	// FileName is the checkpoint file (default "app.ckpt").
+	FileName string
+}
+
+// Stats summarizes the checkpoint subsystem's activity across all attempts.
+type Stats struct {
+	Checkpoints   int      // committed checkpoints
+	CommittedUnit int      // units safely covered by the last commit
+	LastCommitAt  sim.Time // absolute instant of the last commit
+	Overhead      sim.Time // summed node-time spent inside checkpoint rounds
+	RestoreTime   sim.Time // summed node-time re-reading checkpoints on restart
+	Restores      int      // node restore reads performed
+}
+
+// Coordinator implements workload.Checkpointer. One Coordinator serves one
+// logical application run across all its restart attempts.
+type Coordinator struct {
+	cfg   Config
+	nodes int
+
+	// Committed state: survives machine rebuilds.
+	unit     int
+	commitAt sim.Time // absolute
+	have     bool
+
+	// Per-attempt machinery, rebuilt by Prepare.
+	base      sim.Time // absolute start of the current attempt
+	barrier   *sim.Barrier
+	phase     phaseSetter
+	prevPhase string // label to restore after a checkpoint round
+
+	st Stats
+}
+
+type phaseSetter interface {
+	SetPhase(string)
+	Phase() string
+}
+
+// New builds a coordinator for an application running on nodes compute nodes.
+func New(cfg Config, nodes int) (*Coordinator, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("ckpt: %d nodes", nodes)
+	}
+	if cfg.BytesPerNode < 0 {
+		return nil, fmt.Errorf("ckpt: negative slice size %d", cfg.BytesPerNode)
+	}
+	if cfg.FileName == "" {
+		cfg.FileName = "app.ckpt"
+	}
+	return &Coordinator{cfg: cfg, nodes: nodes}, nil
+}
+
+// Prepare arms the coordinator for one attempt on a freshly built machine:
+// it installs the checkpoint file (at its committed size, so a restart can
+// re-read it), rebuilds the rendezvous barrier, and rebases absolute time.
+// base is the absolute instant the attempt's engine clock zero corresponds
+// to.
+func (c *Coordinator) Prepare(m *workload.Machine, fs workload.FS, base sim.Time) error {
+	size := int64(0)
+	if c.have {
+		size = int64(c.nodes) * c.cfg.BytesPerNode
+	}
+	if _, err := fs.Preload(c.cfg.FileName, size); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	c.base = base
+	c.barrier = sim.NewBarrier(m.Eng, "ckpt", c.nodes)
+	c.phase, _ = fs.(phaseSetter)
+	return nil
+}
+
+// ResumeUnit implements workload.Checkpointer.
+func (c *Coordinator) ResumeUnit() int { return c.unit }
+
+// Restore implements workload.Checkpointer: the node re-reads its slice of
+// the last committed checkpoint.
+func (c *Coordinator) Restore(p *sim.Process, fs workload.FS, node int) error {
+	if !c.have || c.cfg.BytesPerNode == 0 {
+		return nil
+	}
+	start := p.Now()
+	h, err := fs.Open(p, node, c.cfg.FileName, iotrace.ModeUnix)
+	if err != nil {
+		return fmt.Errorf("ckpt restore: %w", err)
+	}
+	if _, err := h.Seek(p, int64(node)*c.cfg.BytesPerNode, pfs.SeekStart); err != nil {
+		return fmt.Errorf("ckpt restore: %w", err)
+	}
+	if _, err := h.Read(p, c.cfg.BytesPerNode); err != nil {
+		return fmt.Errorf("ckpt restore: %w", err)
+	}
+	if err := h.Close(p); err != nil {
+		return fmt.Errorf("ckpt restore: %w", err)
+	}
+	c.st.Restores++
+	c.st.RestoreTime += p.Now() - start
+	return nil
+}
+
+// AfterUnit implements workload.Checkpointer. On a checkpoint unit every
+// node: rendezvouses (a checkpoint is globally consistent), writes its slice,
+// flushes, rendezvouses again, and then node 0 commits. An I/O failure
+// inside the round surfaces to the caller and the checkpoint does not commit
+// — the previous one remains the restart point.
+func (c *Coordinator) AfterUnit(p *sim.Process, fs workload.FS, node, unit int) error {
+	if c.cfg.Interval <= 0 || (unit+1)%c.cfg.Interval != 0 {
+		return nil
+	}
+	start := p.Now()
+	c.barrier.Wait(p)
+	if node == 0 && c.phase != nil {
+		c.prevPhase = c.phase.Phase()
+		c.phase.SetPhase(PhaseCheckpoint)
+	}
+	if c.cfg.BytesPerNode > 0 {
+		h, err := fs.Open(p, node, c.cfg.FileName, iotrace.ModeUnix)
+		if err != nil {
+			return fmt.Errorf("ckpt write: %w", err)
+		}
+		if _, err := h.Seek(p, int64(node)*c.cfg.BytesPerNode, pfs.SeekStart); err != nil {
+			return fmt.Errorf("ckpt write: %w", err)
+		}
+		if _, err := h.Write(p, c.cfg.BytesPerNode); err != nil {
+			return fmt.Errorf("ckpt write: %w", err)
+		}
+		if err := h.Flush(p); err != nil {
+			return fmt.Errorf("ckpt write: %w", err)
+		}
+		if err := h.Close(p); err != nil {
+			return fmt.Errorf("ckpt write: %w", err)
+		}
+	}
+	c.barrier.Wait(p)
+	if node == 0 {
+		c.unit = unit + 1
+		c.commitAt = c.base + p.Now()
+		c.have = true
+		c.st.Checkpoints++
+		c.st.CommittedUnit = c.unit
+		c.st.LastCommitAt = c.commitAt
+		if c.phase != nil {
+			c.phase.SetPhase(c.prevPhase)
+		}
+	}
+	c.st.Overhead += p.Now() - start
+	return nil
+}
+
+// Have reports whether a checkpoint has committed.
+func (c *Coordinator) Have() bool { return c.have }
+
+// LastCommitAt returns the absolute instant of the last commit (zero if
+// none).
+func (c *Coordinator) LastCommitAt() sim.Time { return c.commitAt }
+
+// Stats returns accumulated checkpoint statistics.
+func (c *Coordinator) Stats() Stats { return c.st }
+
+// Interface-satisfaction check.
+var _ workload.Checkpointer = (*Coordinator)(nil)

@@ -12,8 +12,10 @@ import (
 	"repro/internal/apps/escat"
 	"repro/internal/apps/htf"
 	"repro/internal/apps/render"
+	"repro/internal/fault"
 	"repro/internal/iotrace"
 	"repro/internal/pablo"
+	"repro/internal/pfs"
 	"repro/internal/ppfs"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -47,6 +49,13 @@ type Study struct {
 
 	// WindowWidth sets the time-window reduction granularity (default 10s).
 	WindowWidth sim.Time
+
+	// Faults is the chaos schedule injected into the machine. The zero
+	// plan injects nothing and leaves the run bit-identical to a build
+	// without the fault subsystem. FaultSeed seeds the plan's random
+	// choices (exponential arrivals, AnyNode targets).
+	Faults    fault.Plan
+	FaultSeed uint64
 
 	// Optional per-application overrides; nil selects the paper-scale
 	// defaults.
@@ -109,53 +118,123 @@ type Report struct {
 
 	// PolicyStats is non-nil when the study ran through PPFS.
 	PolicyStats *ppfs.Stats
+
+	// Incidents is the realized fault timeline (empty without a fault
+	// plan); Failover the PFS failover counters.
+	Incidents []fault.Incident
+	Failover  pfs.FailoverStats
 }
 
 // appErr lets Run surface failures collected inside node programs.
 type appErr interface{ Err() error }
 
-// Run executes the study to completion.
-func Run(s Study) (*Report, error) {
+// runtime bundles everything one simulation attempt needs: the machine, the
+// instrumented file system stack, and the application.
+type runtime struct {
+	m          *workload.Machine
+	fs         workload.FS
+	tracer     *pablo.Tracer
+	physTracer *pablo.Tracer
+	lifetime   *pablo.LifetimeReducer
+	windows    *pablo.WindowReducer
+	layer      *ppfs.FileSystem
+	app        workload.App
+}
+
+// prepare builds a fresh runtime for one attempt of the study. The returned
+// study has defaults merged in.
+func prepare(s Study) (Study, *runtime, error) {
 	if s.Machine.ComputeNodes == 0 {
 		s = mergeDefaults(s)
 	}
 	m, err := workload.NewMachine(s.Machine)
 	if err != nil {
-		return nil, err
+		return s, nil, err
 	}
 
 	if s.WindowWidth <= 0 {
 		s.WindowWidth = 10 * sim.Second
 	}
-	tracer := pablo.NewTracer(s.KeepTrace)
-	lifetime := pablo.NewLifetimeReducer()
-	windows := pablo.NewWindowReducer(s.WindowWidth)
-	tracer.Attach(lifetime)
-	tracer.Attach(windows)
+	rt := &runtime{
+		m:        m,
+		tracer:   pablo.NewTracer(s.KeepTrace),
+		lifetime: pablo.NewLifetimeReducer(),
+		windows:  pablo.NewWindowReducer(s.WindowWidth),
+	}
+	rt.tracer.Attach(rt.lifetime)
+	rt.tracer.Attach(rt.windows)
 
-	var fs workload.FS
-	var physTracer *pablo.Tracer
-	var layer *ppfs.FileSystem
 	if s.Policy != nil {
-		physTracer = pablo.NewTracer(s.KeepTrace)
-		m.PFS.SetRecorder(physTracer)
-		layer, err = ppfs.New(m.Eng, m.PFS, *s.Policy)
+		rt.physTracer = pablo.NewTracer(s.KeepTrace)
+		m.PFS.SetRecorder(rt.physTracer)
+		rt.layer, err = ppfs.New(m.Eng, m.PFS, *s.Policy)
 		if err != nil {
-			return nil, err
+			return s, nil, err
 		}
-		layer.SetRecorder(tracer)
-		fs = layer
+		rt.layer.SetRecorder(rt.tracer)
+		rt.fs = rt.layer
 	} else {
-		m.PFS.SetRecorder(tracer)
-		fs = workload.WrapPFS(m.PFS)
+		m.PFS.SetRecorder(rt.tracer)
+		rt.fs = workload.WrapPFS(m.PFS)
 	}
 
-	app, err := buildApp(s)
+	rt.app, err = buildApp(s)
+	if err != nil {
+		return s, nil, err
+	}
+	return s, rt, nil
+}
+
+// inject arms the study's fault plan against the runtime's machine; it
+// returns nil when the plan is empty (no injector processes are spawned, so
+// the healthy path is untouched).
+func (rt *runtime) inject(s Study, events []fault.Event) *fault.Injector {
+	if len(events) == 0 {
+		return nil
+	}
+	return fault.Inject(rt.m.Eng, rt.m.PFS.IONodes(), events)
+}
+
+// report assembles the study's report after a completed run.
+func (rt *runtime) report(s Study) *Report {
+	r := &Report{
+		App:      s.App,
+		Wall:     rt.m.Eng.Now(),
+		Events:   rt.tracer.Events(),
+		Summary:  analysis.Summarize(rt.tracer.Events()),
+		Sizes:    analysis.Sizes(rt.tracer.Events()),
+		Lifetime: rt.lifetime,
+		Windows:  rt.windows,
+		Failover: rt.m.PFS.FailoverStats(),
+	}
+	if rt.physTracer != nil {
+		r.Physical = rt.physTracer.Events()
+	} else {
+		r.Physical = r.Events
+	}
+	if rt.layer != nil {
+		st := rt.layer.Stats()
+		r.PolicyStats = &st
+	}
+	return r
+}
+
+// Run executes the study to completion. With a fault plan configured the run
+// is a single attempt: an injected fault the application cannot absorb (via
+// PFS failover) surfaces as an error, exactly like the real machine's job
+// kill. Use RunResilient for checkpoint/restart semantics.
+func Run(s Study) (*Report, error) {
+	s, rt, err := prepare(s)
 	if err != nil {
 		return nil, err
 	}
-	runErr := workload.Run(m, fs, app)
-	if ae, ok := app.(appErr); ok {
+	var events []fault.Event
+	if !s.Faults.Empty() {
+		events = s.Faults.Materialize(s.FaultSeed, s.Machine.PFS.IONodes)
+	}
+	inj := rt.inject(s, events)
+	runErr := workload.Run(rt.m, rt.fs, rt.app)
+	if ae, ok := rt.app.(appErr); ok {
 		if err := ae.Err(); err != nil {
 			// Node-program failures are the root cause; a deadlock from the
 			// abandoned barrier group is their symptom.
@@ -166,23 +245,20 @@ func Run(s Study) (*Report, error) {
 		return nil, runErr
 	}
 
-	r := &Report{
-		App:      s.App,
-		Wall:     m.Eng.Now(),
-		Events:   tracer.Events(),
-		Summary:  analysis.Summarize(tracer.Events()),
-		Sizes:    analysis.Sizes(tracer.Events()),
-		Lifetime: lifetime,
-		Windows:  windows,
-	}
-	if physTracer != nil {
-		r.Physical = physTracer.Events()
-	} else {
-		r.Physical = r.Events
-	}
-	if layer != nil {
-		st := layer.Stats()
-		r.PolicyStats = &st
+	r := rt.report(s)
+	if inj != nil {
+		// Injector drivers (a background rebuild, a not-yet-due storm) can
+		// outlive the application; the run's wall clock is the application's
+		// own finish. Without a kept trace the engine clock stands in.
+		inj.CloseOpen(rt.m.Eng.Now())
+		incs := inj.Incidents()
+		if end := lastEventEnd(r.Events); end > 0 {
+			r.Wall = end
+			// The incident timeline ends with the application too: faults
+			// realized after its last operation affected nothing.
+			incs = capIncidents(incs, end)
+		}
+		r.Incidents = incs
 	}
 	return r, nil
 }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/fault"
+)
+
+// Resilience reduces a single-attempt report to the analysis-layer
+// resilience summary (exposure, per-fault latency impact, failover counters).
+func (r *Report) Resilience() analysis.ResilienceReport {
+	return analysis.ResilienceReport{
+		Wall:         r.Wall,
+		Attempts:     1,
+		Exposure:     analysis.Exposures(r.Incidents),
+		Impacts:      analysis.FaultImpacts(r.Events, r.Incidents),
+		Timeouts:     r.Failover.Timeouts,
+		Retries:      r.Failover.Retries,
+		Reroutes:     r.Failover.Reroutes,
+		MirrorWrites: r.Failover.MirrorWrites,
+		FailedOps:    r.Failover.Failed,
+		BackoffTime:  r.Failover.BackoffTime,
+	}
+}
+
+// Resilience reduces the resilient run to the analysis-layer summary. The
+// per-fault latency impact covers the successful attempt (the one whose full
+// trace survives); exposure spans the whole timeline.
+func (rr *ResilientReport) Resilience() analysis.ResilienceReport {
+	out := analysis.ResilienceReport{
+		Wall:         rr.Wall,
+		Attempts:     len(rr.Attempts),
+		LostWork:     rr.LostWork,
+		Checkpoints:  rr.Ckpt.Checkpoints,
+		CkptOverhead: rr.Ckpt.Overhead,
+		Restores:     rr.Ckpt.Restores,
+		RestoreTime:  rr.Ckpt.RestoreTime,
+		Exposure:     analysis.Exposures(rr.Incidents),
+	}
+	for _, a := range rr.Attempts {
+		if a.Failed {
+			out.Failures++
+		}
+	}
+	if rr.Final != nil && len(rr.Attempts) > 0 {
+		// Rebase the final attempt's incidents onto its local clock so they
+		// line up with the surviving trace.
+		start := rr.Attempts[len(rr.Attempts)-1].Start
+		var local []fault.Incident
+		for _, inc := range rr.Incidents {
+			if inc.End <= start {
+				continue
+			}
+			inc.Start -= start
+			if inc.Start < 0 {
+				inc.Start = 0
+			}
+			inc.End -= start
+			local = append(local, inc)
+		}
+		out.Impacts = analysis.FaultImpacts(rr.Final.Events, local)
+		out.Timeouts = rr.Final.Failover.Timeouts
+		out.Retries = rr.Final.Failover.Retries
+		out.Reroutes = rr.Final.Failover.Reroutes
+		out.MirrorWrites = rr.Final.Failover.MirrorWrites
+		out.FailedOps = rr.Final.Failover.Failed
+		out.BackoffTime = rr.Final.Failover.BackoffTime
+	}
+	return out
+}
+
+// TradeoffSweep reruns the resilient study once per checkpoint interval
+// (0 meaning no checkpoints) and collects the overhead-versus-lost-work
+// curve. Every run replays the same materialized fault schedule.
+func TradeoffSweep(rs ResilientStudy, intervals []int) ([]analysis.TradeoffPoint, error) {
+	pts := make([]analysis.TradeoffPoint, 0, len(intervals))
+	for _, iv := range intervals {
+		r := rs
+		r.Ckpt.Interval = iv
+		rr, err := RunResilient(r)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, analysis.TradeoffPoint{
+			Interval:    iv,
+			Checkpoints: rr.Ckpt.Checkpoints,
+			Overhead:    rr.Ckpt.Overhead,
+			LostWork:    rr.LostWork,
+			Wall:        rr.Wall,
+		})
+	}
+	return pts, nil
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps/escat"
+	"repro/internal/ckpt"
+	"repro/internal/fault"
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ResilientStudy describes a chaos run with checkpoint/restart: the study's
+// fault plan is injected, and when a fault kills the application the machine
+// is rebuilt and the application restarted from its last committed
+// checkpoint, with the remaining fault schedule carried over.
+type ResilientStudy struct {
+	Study
+
+	// Ckpt is the checkpoint policy. Interval <= 0 runs without
+	// checkpoints: every restart redoes the run from the beginning.
+	Ckpt ckpt.Config
+
+	// MaxAttempts bounds the restart loop (default 8).
+	MaxAttempts int
+
+	// RestartCost is the fixed wall-clock charge per restart (requeue,
+	// relaunch, reload of the executable).
+	RestartCost sim.Time
+}
+
+// Attempt is one execution attempt's outcome, in absolute time (restart
+// costs included in the gaps between attempts).
+type Attempt struct {
+	Start, End sim.Time
+	ResumeUnit int    // work unit the attempt started from
+	Failed     bool   // attempt died to a fault
+	Err        string // first node failure (empty on success)
+}
+
+// Wall returns the attempt's duration.
+func (a Attempt) Wall() sim.Time { return a.End - a.Start }
+
+// ResilientReport is the outcome of a resilient run.
+type ResilientReport struct {
+	// Final is the successful attempt's full report (attempt-local times).
+	Final *Report
+
+	Attempts  []Attempt
+	Incidents []fault.Incident // realized faults across attempts, absolute times
+	Ckpt      ckpt.Stats
+	LostWork  sim.Time // computed work discarded by failures
+	Wall      sim.Time // absolute completion time including restarts
+}
+
+// failedAtter lets the driver read the simulated instant an app first died.
+type failedAtter interface {
+	FailedAt() (sim.Time, bool)
+}
+
+// attachCkpt wires a checkpointer into the study's application config and
+// reports whether the application supports one.
+func attachCkpt(s *Study, c workload.Checkpointer) bool {
+	switch s.App {
+	case ESCAT:
+		cfg := escat.DefaultConfig()
+		if s.ESCATConfig != nil {
+			cfg = *s.ESCATConfig
+		}
+		cfg.Ckpt = c
+		s.ESCATConfig = &cfg
+		return true
+	}
+	return false
+}
+
+// appNodes returns the application's compute-node count under the study's
+// configuration.
+func appNodes(s Study) int {
+	switch s.App {
+	case ESCAT:
+		if s.ESCATConfig != nil {
+			return s.ESCATConfig.Nodes
+		}
+		return escat.DefaultConfig().Nodes
+	}
+	return s.Machine.ComputeNodes
+}
+
+// lastEventEnd returns the completion instant of the latest traced operation
+// — the application's effective finish, excluding injector processes (a
+// background RAID rebuild, say) that keep the simulated clock running after
+// the application is done.
+func lastEventEnd(events []iotrace.Event) sim.Time {
+	var end sim.Time
+	for _, e := range events {
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return end
+}
+
+// RunResilient executes the study under its fault plan with restart-from-
+// checkpoint semantics. Determinism: the fault schedule is materialized once
+// from (Faults, FaultSeed) and each attempt replays its still-relevant
+// remainder, so the same study and seed produce the same attempt history.
+func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
+	s := rs.Study
+	if s.Machine.ComputeNodes == 0 {
+		s = mergeDefaults(s)
+	}
+	// The driver measures attempt completion from the trace.
+	s.KeepTrace = true
+	if rs.MaxAttempts <= 0 {
+		rs.MaxAttempts = 8
+	}
+
+	var coord *ckpt.Coordinator
+	if rs.Ckpt.Interval > 0 {
+		var err error
+		coord, err = ckpt.New(rs.Ckpt, appNodes(s))
+		if err != nil {
+			return nil, err
+		}
+		if !attachCkpt(&s, coord) {
+			return nil, fmt.Errorf("core: %s does not support checkpointing", s.App)
+		}
+	}
+
+	var events []fault.Event
+	if !s.Faults.Empty() {
+		events = s.Faults.Materialize(s.FaultSeed, s.Machine.PFS.IONodes)
+	}
+
+	rr := &ResilientReport{}
+	base := sim.Time(0)
+	for attempt := 0; attempt < rs.MaxAttempts; attempt++ {
+		resume := 0
+		if coord != nil {
+			resume = coord.ResumeUnit()
+		}
+		s, rt, err := prepare(s)
+		if err != nil {
+			return nil, err
+		}
+		if coord != nil {
+			if err := coord.Prepare(rt.m, rt.fs, base); err != nil {
+				return nil, err
+			}
+		}
+		inj := rt.inject(s, fault.ShiftForRestart(events, base))
+		runErr := workload.Run(rt.m, rt.fs, rt.app)
+
+		var nodeErr error
+		if ae, ok := rt.app.(appErr); ok {
+			nodeErr = ae.Err()
+		}
+		if nodeErr == nil && runErr != nil {
+			// Not an application death from a fault: a real failure.
+			return nil, runErr
+		}
+
+		if nodeErr == nil {
+			r := rt.report(s)
+			r.Wall = lastEventEnd(r.Events)
+			if inj != nil {
+				inj.CloseOpen(r.Wall)
+				rr.addIncidents(capIncidents(inj.Incidents(), r.Wall), base)
+			}
+			rr.Final = r
+			rr.Attempts = append(rr.Attempts, Attempt{
+				Start: base, End: base + r.Wall, ResumeUnit: resume,
+			})
+			rr.Wall = base + r.Wall
+			if coord != nil {
+				rr.Ckpt = coord.Stats()
+			}
+			return rr, nil
+		}
+
+		// The attempt died. Its end is the first node failure; everything
+		// after the last committed checkpoint is lost work.
+		failedAt, ok := failAt(rt.app)
+		if !ok {
+			failedAt = rt.m.Eng.Now()
+		}
+		if inj != nil {
+			inj.CloseOpen(failedAt)
+			// The attempt was abandoned at failedAt: anything the injector
+			// timeline says happened after that (a rebuild completing in the
+			// dead machine's engine) didn't.
+			rr.addIncidents(capIncidents(inj.Incidents(), failedAt), base)
+		}
+		lostFrom := base
+		if coord != nil && coord.Have() && coord.LastCommitAt() > base {
+			lostFrom = coord.LastCommitAt()
+		}
+		rr.LostWork += base + failedAt - lostFrom
+		rr.Attempts = append(rr.Attempts, Attempt{
+			Start: base, End: base + failedAt, ResumeUnit: resume,
+			Failed: true, Err: nodeErr.Error(),
+		})
+		base += failedAt + rs.RestartCost
+	}
+	if coord != nil {
+		rr.Ckpt = coord.Stats()
+	}
+	return rr, fmt.Errorf("core: %s did not complete within %d attempts (%d failures)",
+		s.App, rs.MaxAttempts, len(rr.Attempts))
+}
+
+func failAt(app workload.App) (sim.Time, bool) {
+	if f, ok := app.(failedAtter); ok {
+		return f.FailedAt()
+	}
+	return 0, false
+}
+
+// addIncidents rebases one attempt's incident timeline to absolute time.
+func (rr *ResilientReport) addIncidents(incs []fault.Incident, base sim.Time) {
+	for _, inc := range incs {
+		inc.Start += base
+		inc.End += base
+		rr.Incidents = append(rr.Incidents, inc)
+	}
+}
+
+// capIncidents truncates an attempt's incident timeline at the instant the
+// application stopped mattering — the failure on an abandoned attempt, the
+// last traced operation on a successful one. Incidents starting later are
+// dropped, ones spanning the cut are left open-ended there.
+func capIncidents(incs []fault.Incident, cut sim.Time) []fault.Incident {
+	var out []fault.Incident
+	for _, inc := range incs {
+		if inc.Start > cut {
+			continue
+		}
+		if inc.End > cut {
+			inc.End = cut
+			inc.Open = true
+		}
+		out = append(out, inc)
+	}
+	return out
+}

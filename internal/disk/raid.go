@@ -31,6 +31,23 @@ type ArrayConfig struct {
 	// active files per array than buffers, every request pays positioning —
 	// the regime the Hartree-Fock per-node files produce.
 	StreamCache int
+
+	// ReconstructOverhead is the extra controller cost a degraded-mode read
+	// pays per request to XOR the surviving drives' lanes back into the
+	// failed drive's data. Zero selects a default of half the request
+	// overhead.
+	ReconstructOverhead sim.Time
+
+	// RebuildBWBytesPerS is the sustained rate at which a background rebuild
+	// scans the surviving drives onto the replacement. Zero selects a
+	// default of 40% of the array data bandwidth.
+	RebuildBWBytesPerS float64
+
+	// RebuildSliceBytes is the rebuild work quantum: the rebuild process
+	// occupies the array for one slice at a time, so foreground requests
+	// interleave with (and are delayed by) rebuild passes. Zero selects a
+	// 4 MB default.
+	RebuildSliceBytes int64
 }
 
 // DefaultArrayConfig returns parameters representative of the CCSF Paragon's
@@ -55,16 +72,26 @@ type stream struct {
 
 // Array is the state of one RAID-3 array: its configuration plus the
 // per-stream positions implied by recent requests, used for sequential-access
-// detection.
+// detection, plus the redundancy state driven by fault injection (healthy,
+// degraded with one failed drive, or dead with two).
 type Array struct {
 	cfg     ArrayConfig
 	streams []stream // most-recently-used first, capped at cfg.StreamCache
+
+	// redundancy state
+	failedDisks  int
+	rebuiltBytes int64 // rebuild progress toward cfg.DiskCapacity
+	failedAt     sim.Time
 
 	// statistics
 	requests    int64
 	bytes       int64
 	seqRequests int64
 	busy        sim.Time
+
+	degradedRequests int64
+	degradedTime     sim.Time // accumulated wall time spent degraded or dead
+	rebuilds         int64
 }
 
 // NewArray creates an array with no tracked streams (the first request of
@@ -90,14 +117,29 @@ func (a *Array) Capacity() int64 {
 	return int64(a.cfg.Disks-1) * a.cfg.DiskCapacity
 }
 
-// ServiceTime computes the time to service a request on the given stream
-// (callers use the file identity) at the given array byte address, and
+// ServiceTime computes the time to service a write-path request on the given
+// stream (callers use the file identity) at the given array byte address, and
 // advances that stream's modeled position. A request that continues its
 // stream sequentially — and whose stream is still buffered — skips
-// positioning.
+// positioning. It is equivalent to Service with read=false.
 func (a *Array) ServiceTime(streamKey, addr, bytes int64) sim.Time {
+	return a.Service(streamKey, addr, bytes, false)
+}
+
+// Service computes the time to service a request, distinguishing reads from
+// writes because the two differ once the array is degraded: a degraded read
+// must fetch every surviving drive's lane and XOR the failed drive's data
+// back into existence — the transfer slows by (D-1)/(D-2) and pays a
+// reconstruction overhead — while a degraded write simply skips the failed
+// lane (parity still makes the data recoverable), so writes stay at healthy
+// cost. On a healthy array reads and writes are charged identically, so the
+// healthy path is bit-for-bit unchanged by the read flag.
+func (a *Array) Service(streamKey, addr, bytes int64, read bool) sim.Time {
 	if addr < 0 || bytes < 0 {
 		panic(fmt.Sprintf("disk: invalid request addr=%d bytes=%d", addr, bytes))
+	}
+	if a.Dead() {
+		panic("disk: request on dead array (two failed drives)")
 	}
 	t := a.cfg.Overhead
 	if a.touch(streamKey, addr) {
@@ -106,11 +148,39 @@ func (a *Array) ServiceTime(streamKey, addr, bytes int64) sim.Time {
 		t += a.cfg.Position
 	}
 	a.setEnd(streamKey, addr+bytes)
-	t += sim.Time(float64(bytes) / a.cfg.BWBytesPerS * float64(sim.Second))
+	transfer := sim.Time(float64(bytes) / a.cfg.BWBytesPerS * float64(sim.Second))
+	if read && a.failedDisks > 0 {
+		t += a.reconstructOverhead()
+		transfer = sim.Time(float64(transfer) * a.DegradedReadFactor())
+		a.degradedRequests++
+	} else if a.failedDisks > 0 {
+		a.degradedRequests++
+	}
+	t += transfer
 	a.requests++
 	a.bytes += bytes
 	a.busy += t
 	return t
+}
+
+// DegradedReadFactor is the multiplier a degraded read's transfer time pays
+// for parity reconstruction: with D drives (one of them parity), losing one
+// data drive leaves D-2 of the D-1 data lanes, so the effective data rate
+// drops to (D-2)/(D-1) of healthy. Arrays too small for that ratio to be
+// meaningful (fewer than 4 drives) pay a factor of 2.
+func (a *Array) DegradedReadFactor() float64 {
+	d := a.cfg.Disks
+	if d < 4 {
+		return 2
+	}
+	return float64(d-1) / float64(d-2)
+}
+
+func (a *Array) reconstructOverhead() sim.Time {
+	if a.cfg.ReconstructOverhead > 0 {
+		return a.cfg.ReconstructOverhead
+	}
+	return a.cfg.Overhead / 2
 }
 
 // SweepServiceTime services a sorted scatter-gather sweep: several disjoint
@@ -162,15 +232,104 @@ func (a *Array) setEnd(key, end int64) {
 	a.streams[0].lastEnd = end
 }
 
+// FailDisk takes one drive out of the array at the given instant. The first
+// failure flips the array into degraded mode and resets rebuild progress; a
+// second failure while still degraded kills the array (RAID-3's single
+// parity drive cannot cover two losses), after which requests must not be
+// issued (see Dead).
+func (a *Array) FailDisk(now sim.Time) {
+	if a.failedDisks == 0 {
+		a.failedAt = now
+	}
+	if a.failedDisks < 2 {
+		a.failedDisks++
+	}
+	a.rebuiltBytes = 0
+}
+
+// Degraded reports whether exactly one drive is out (parity reconstruction
+// active, rebuild possible).
+func (a *Array) Degraded() bool { return a.failedDisks == 1 }
+
+// Dead reports whether the array has lost more drives than parity covers.
+func (a *Array) Dead() bool { return a.failedDisks >= 2 }
+
+// RebuildSlice advances the background rebuild by one work quantum and
+// returns the array time the slice occupies plus whether the rebuild (and
+// therefore the array) is complete. The caller — the fault injector's
+// rebuild process — must hold the array's request queue for the returned
+// duration, which is how rebuild bandwidth contends with foreground
+// requests. RebuildSlice on a dead or healthy array returns done without
+// charging time.
+func (a *Array) RebuildSlice(now sim.Time) (slice sim.Time, done bool) {
+	if a.failedDisks != 1 {
+		return 0, true
+	}
+	quantum := a.cfg.RebuildSliceBytes
+	if quantum <= 0 {
+		quantum = 4 << 20
+	}
+	remaining := a.cfg.DiskCapacity - a.rebuiltBytes
+	if quantum > remaining {
+		quantum = remaining
+	}
+	bw := a.cfg.RebuildBWBytesPerS
+	if bw <= 0 {
+		bw = a.cfg.BWBytesPerS * 0.4
+	}
+	slice = sim.Time(float64(quantum) / bw * float64(sim.Second))
+	a.rebuiltBytes += quantum
+	a.busy += slice
+	if a.rebuiltBytes >= a.cfg.DiskCapacity {
+		a.repair(now + slice)
+		return slice, true
+	}
+	return slice, false
+}
+
+// repair returns the array to healthy after a completed rebuild.
+func (a *Array) repair(now sim.Time) {
+	a.failedDisks = 0
+	a.rebuiltBytes = 0
+	a.rebuilds++
+	a.degradedTime += now - a.failedAt
+}
+
+// RebuildProgress reports the fraction of the replacement drive rebuilt.
+func (a *Array) RebuildProgress() float64 {
+	if a.failedDisks != 1 || a.cfg.DiskCapacity == 0 {
+		return 0
+	}
+	return float64(a.rebuiltBytes) / float64(a.cfg.DiskCapacity)
+}
+
+// DegradedSince returns the instant the current failure began, if the array
+// is not healthy.
+func (a *Array) DegradedSince() (sim.Time, bool) {
+	if a.failedDisks == 0 {
+		return 0, false
+	}
+	return a.failedAt, true
+}
+
 // Stats summarizes array activity.
 type Stats struct {
 	Requests   int64    // total requests serviced
 	Sequential int64    // requests that continued sequentially (no positioning)
 	Bytes      int64    // total bytes transferred
 	Busy       sim.Time // total service time charged
+
+	DegradedRequests int64    // requests serviced while a drive was out
+	DegradedTime     sim.Time // completed degraded intervals (rebuilds finished)
+	Rebuilds         int64    // rebuilds completed
 }
 
-// Stats returns accumulated activity counters.
+// Stats returns accumulated activity counters. DegradedTime covers completed
+// failure intervals only; an interval still open at the end of a run is
+// reported via DegradedSince.
 func (a *Array) Stats() Stats {
-	return Stats{Requests: a.requests, Sequential: a.seqRequests, Bytes: a.bytes, Busy: a.busy}
+	return Stats{
+		Requests: a.requests, Sequential: a.seqRequests, Bytes: a.bytes, Busy: a.busy,
+		DegradedRequests: a.degradedRequests, DegradedTime: a.degradedTime, Rebuilds: a.rebuilds,
+	}
 }

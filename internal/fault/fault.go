@@ -1,0 +1,208 @@
+// Package fault is the chaos side of the machine model: it turns a declarative
+// fault plan — fixed events, exponential inter-failure processes, n-node
+// cascades — into a concrete, seeded schedule of incidents and injects them
+// into a running simulation. Faults land on the machine's I/O nodes in three
+// forms: a disk failure flips an I/O node's RAID-3 array into degraded mode
+// (with a background rebuild contending against foreground requests), an
+// I/O-node outage takes the node out of service (requests fail over or error
+// with ErrIONodeDown), and a latency storm multiplies the node's service
+// times for a while.
+//
+// Everything is deterministic: the same plan, seed, and I/O-node count
+// materialize the same schedule, so two chaos runs with the same seed produce
+// byte-identical reports.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a fault.
+type Kind int
+
+const (
+	// DiskFailure takes one drive out of the target I/O node's RAID-3
+	// array. The array runs degraded (reads pay parity reconstruction)
+	// while a background rebuild competes with foreground requests; a
+	// second failure before the rebuild completes kills the array.
+	DiskFailure Kind = iota
+
+	// IONodeOutage takes the whole I/O node out of service for Duration.
+	IONodeOutage
+
+	// LatencyStorm multiplies the node's service times by Factor for
+	// Duration.
+	LatencyStorm
+)
+
+// String returns the kind's report label.
+func (k Kind) String() string {
+	switch k {
+	case DiskFailure:
+		return "disk-failure"
+	case IONodeOutage:
+		return "ionode-outage"
+	case LatencyStorm:
+		return "latency-storm"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// ParseKind parses a report label ("disk-failure", "ionode-outage",
+// "latency-storm") back into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "disk-failure":
+		return DiskFailure, nil
+	case "ionode-outage":
+		return IONodeOutage, nil
+	case "latency-storm":
+		return LatencyStorm, nil
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q", s)
+}
+
+// AnyNode as an Event/Exp/Cascade node selects a node uniformly at random
+// (per failure) when the plan is materialized.
+const AnyNode = -1
+
+// Event is one concrete scheduled fault.
+type Event struct {
+	Kind     Kind
+	At       sim.Time // injection instant
+	Node     int      // I/O-node index, or AnyNode
+	Duration sim.Time // outage/storm length; ignored for DiskFailure
+	Factor   float64  // latency-storm service multiplier (> 1)
+}
+
+// Exp is a Poisson failure process: failures of the given kind arrive with
+// exponentially distributed gaps of mean MeanBetween inside [Start, End).
+type Exp struct {
+	Kind        Kind
+	MeanBetween sim.Time
+	Start, End  sim.Time
+	Node        int // fixed target, or AnyNode per failure
+	Duration    sim.Time
+	Factor      float64
+}
+
+// Cascade is a correlated multi-node failure: starting at At, Nodes
+// consecutive I/O nodes (FirstNode, FirstNode+1, ...) suffer the same fault,
+// Spacing apart — a rack losing power switch by switch.
+type Cascade struct {
+	Kind      Kind
+	At        sim.Time
+	Nodes     int
+	FirstNode int // first node hit, or AnyNode
+	Spacing   sim.Time
+	Duration  sim.Time
+	Factor    float64
+}
+
+// Plan is a declarative chaos schedule. The zero Plan is empty: no faults,
+// and the simulation is bit-identical to a run without the fault subsystem.
+type Plan struct {
+	Events   []Event
+	Exps     []Exp
+	Cascades []Cascade
+}
+
+// Empty reports whether the plan schedules nothing.
+func (pl Plan) Empty() bool {
+	return len(pl.Events) == 0 && len(pl.Exps) == 0 && len(pl.Cascades) == 0
+}
+
+// Materialize expands the plan into a concrete event schedule for a machine
+// with the given number of I/O nodes, resolving AnyNode targets and drawing
+// exponential arrivals from a generator seeded with seed. The expansion is
+// deterministic: events are resolved in plan order, then each Exp and each
+// Cascade in order, and the result is sorted by injection time (stable, so
+// same-instant events keep plan order).
+func (pl Plan) Materialize(seed uint64, ionodes int) []Event {
+	if ionodes < 1 {
+		panic("fault: Materialize with no I/O nodes")
+	}
+	rng := sim.NewRNG(seed)
+	pick := func(node int) int {
+		if node == AnyNode {
+			return rng.Intn(ionodes)
+		}
+		return ((node % ionodes) + ionodes) % ionodes
+	}
+
+	var out []Event
+	for _, e := range pl.Events {
+		e.Node = pick(e.Node)
+		out = append(out, e)
+	}
+	for _, x := range pl.Exps {
+		if x.MeanBetween <= 0 || x.End <= x.Start {
+			continue
+		}
+		at := x.Start
+		for {
+			// Exponential gap: -mean * ln(1-U).
+			gap := sim.Time(-float64(x.MeanBetween) * math.Log(1-rng.Float64()))
+			if gap < sim.Time(1) {
+				gap = 1
+			}
+			at += gap
+			if at >= x.End {
+				break
+			}
+			out = append(out, Event{
+				Kind: x.Kind, At: at, Node: pick(x.Node),
+				Duration: x.Duration, Factor: x.Factor,
+			})
+		}
+	}
+	for _, c := range pl.Cascades {
+		if c.Nodes < 1 {
+			continue
+		}
+		first := pick(c.FirstNode)
+		for i := 0; i < c.Nodes; i++ {
+			out = append(out, Event{
+				Kind: c.Kind, At: c.At + sim.Time(i)*c.Spacing,
+				Node:     (first + i) % ionodes,
+				Duration: c.Duration, Factor: c.Factor,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// ShiftForRestart rebases a materialized schedule onto a machine rebuilt at
+// absolute time start (a restart from checkpoint). Transient faults (outages,
+// storms) that completed before start are dropped; one spanning start keeps
+// only its remaining duration, injected immediately. Disk failures persist —
+// a drive that failed before the restart is still out when the machine comes
+// back, so its event is re-injected at time zero (restarting its rebuild from
+// scratch, the pessimistic assumption).
+func ShiftForRestart(events []Event, start sim.Time) []Event {
+	var out []Event
+	for _, e := range events {
+		switch {
+		case e.Kind == DiskFailure:
+			if e.At >= start {
+				e.At -= start
+			} else {
+				e.At = 0
+			}
+			out = append(out, e)
+		case e.At >= start:
+			e.At -= start
+			out = append(out, e)
+		case e.At+e.Duration > start:
+			e.Duration = e.At + e.Duration - start
+			e.At = 0
+			out = append(out, e)
+		}
+	}
+	return out
+}

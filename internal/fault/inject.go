@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ionode"
+	"repro/internal/sim"
+)
+
+// Incident is one fault's realized lifetime, recorded by the injector for the
+// resilience report.
+type Incident struct {
+	Kind  Kind
+	Node  int
+	Start sim.Time
+	End   sim.Time // meaningful only when Open is false
+	Open  bool     // still in effect when the run ended
+	Note  string   // e.g. "array dead (second drive failure)"
+}
+
+// Injector owns the driver processes that realize a materialized schedule
+// against a machine's I/O nodes. Create one per simulation run with Inject,
+// before the engine runs.
+type Injector struct {
+	nodes     []*ionode.Node
+	incidents []Incident
+	downCount []int // overlapping-outage refcount per node
+}
+
+// Inject arms every event in the schedule: each fault gets a driver process
+// spawned at its injection time. Events targeting nodes outside the machine
+// are ignored. The returned Injector accumulates the incident timeline.
+func Inject(eng *sim.Engine, nodes []*ionode.Node, events []Event) *Injector {
+	inj := &Injector{nodes: nodes, downCount: make([]int, len(nodes))}
+	for _, ev := range events {
+		if ev.Node < 0 || ev.Node >= len(nodes) {
+			continue
+		}
+		ev := ev
+		name := fmt.Sprintf("fault:%v@ion%d", ev.Kind, ev.Node)
+		switch ev.Kind {
+		case IONodeOutage:
+			eng.SpawnAt(name, ev.At, func(p *sim.Process) { inj.runOutage(p, ev) })
+		case LatencyStorm:
+			eng.SpawnAt(name, ev.At, func(p *sim.Process) { inj.runStorm(p, ev) })
+		case DiskFailure:
+			eng.SpawnAt(name, ev.At, func(p *sim.Process) { inj.runDiskFailure(p, ev) })
+		}
+	}
+	return inj
+}
+
+// begin opens an incident and returns its index.
+func (inj *Injector) begin(ev Event, at sim.Time) int {
+	inj.incidents = append(inj.incidents, Incident{
+		Kind: ev.Kind, Node: ev.Node, Start: at, Open: true,
+	})
+	return len(inj.incidents) - 1
+}
+
+func (inj *Injector) close(i int, at sim.Time, note string) {
+	inc := &inj.incidents[i]
+	inc.End = at
+	inc.Open = false
+	if note != "" {
+		inc.Note = note
+	}
+}
+
+// runOutage takes the node down for the event duration. Overlapping outages
+// on one node are refcounted: the node returns to service when the last one
+// ends.
+func (inj *Injector) runOutage(p *sim.Process, ev Event) {
+	n := inj.nodes[ev.Node]
+	i := inj.begin(ev, p.Now())
+	inj.downCount[ev.Node]++
+	n.Fail(p)
+	p.Sleep(ev.Duration)
+	inj.downCount[ev.Node]--
+	if inj.downCount[ev.Node] == 0 {
+		n.Restore(p)
+	}
+	inj.close(i, p.Now(), "")
+}
+
+// runStorm raises the node's latency factor for the event duration.
+// Overlapping storms on one node do not stack; the most recent setting wins
+// and nominal service resumes when the last-started storm ends.
+func (inj *Injector) runStorm(p *sim.Process, ev Event) {
+	n := inj.nodes[ev.Node]
+	i := inj.begin(ev, p.Now())
+	f := ev.Factor
+	if f <= 0 {
+		f = 1
+	}
+	n.SetLatencyFactor(f)
+	p.Sleep(ev.Duration)
+	n.SetLatencyFactor(1)
+	inj.close(i, p.Now(), fmt.Sprintf("factor %.2g", f))
+}
+
+// runDiskFailure fails one drive and then runs the background rebuild: each
+// slice acquires the node's request queue, so rebuild bandwidth and
+// foreground requests contend FIFO for the array. The incident closes when
+// the rebuild completes; a second failure in the meantime kills the array and
+// the incident records it. While the node itself is down the rebuild stalls,
+// polling for the node's return.
+func (inj *Injector) runDiskFailure(p *sim.Process, ev Event) {
+	n := inj.nodes[ev.Node]
+	arr := n.Array()
+	wasDegraded := arr.Degraded()
+	arr.FailDisk(p.Now())
+	i := inj.begin(ev, p.Now())
+	if arr.Dead() {
+		inj.close(i, p.Now(), "array dead (second drive failure)")
+		return
+	}
+	if wasDegraded {
+		// Shouldn't happen (Degraded + one more = Dead), but stay safe.
+		inj.close(i, p.Now(), "already degraded")
+		return
+	}
+	const stallPoll = 100 * sim.Millisecond
+	for {
+		if err := n.Queue().AcquireWait(p); err != nil {
+			// Node is down; rebuild can't touch the array. Outages are
+			// finite (driver processes restore them), so poll.
+			p.Sleep(stallPoll)
+			if arr.Dead() {
+				inj.close(i, p.Now(), "array dead (second drive failure)")
+				return
+			}
+			continue
+		}
+		slice, done := arr.RebuildSlice(p.Now())
+		p.Sleep(slice)
+		n.Queue().Release(p)
+		if arr.Dead() {
+			inj.close(i, p.Now(), "array dead (second drive failure)")
+			return
+		}
+		if done {
+			inj.close(i, p.Now(), "rebuilt")
+			return
+		}
+	}
+}
+
+// Incidents returns the realized fault timeline, sorted by start time (ties
+// by node then kind). Incidents still in effect when the run ended have Open
+// set and End zero; CloseOpen stamps them instead.
+func (inj *Injector) Incidents() []Incident {
+	out := make([]Incident, len(inj.incidents))
+	copy(out, inj.incidents)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// CloseOpen stamps every still-open incident with the given end time (the
+// run's end) without clearing its Open marker, so reports can show both the
+// exposure and that the fault outlived the run.
+func (inj *Injector) CloseOpen(at sim.Time) {
+	for i := range inj.incidents {
+		if inj.incidents[i].Open {
+			inj.incidents[i].End = at
+		}
+	}
+}

@@ -3,14 +3,26 @@
 // queue here, so contention among the 128 application nodes for the 16 I/O
 // nodes — the effect behind the paper's large per-operation times — emerges
 // from the model rather than being hard-coded.
+//
+// A node can be taken out of service by fault injection: Fail marks it down
+// and ejects every queued request (callers receive ErrDown and run the PFS
+// failover path), Restore brings it back. Independently, a latency factor
+// can be raised to model injected latency storms, and the array behind the
+// node can be degraded (disk failure) without the node itself going down.
 package ionode
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/disk"
 	"repro/internal/sim"
 )
+
+// ErrDown is returned for requests issued to (or ejected from) a node that
+// is out of service, and for requests to a node whose array has lost more
+// drives than parity covers.
+var ErrDown = errors.New("ionode: I/O node is down")
 
 // Node is one I/O node.
 type Node struct {
@@ -18,8 +30,15 @@ type Node struct {
 	queue *sim.Resource
 	array *disk.Array
 
+	down      bool
+	latency   float64 // service-time multiplier; 0 or 1 = nominal
+	downSince sim.Time
+
 	requests int64
 	bytes    int64
+	failures int64
+	rejected int64    // requests refused or ejected while down
+	downTime sim.Time // completed outage intervals
 }
 
 // New creates I/O node id with the given array behind a capacity-1 FIFO
@@ -35,50 +54,161 @@ func New(eng *sim.Engine, id int, cfg disk.ArrayConfig) *Node {
 // ID returns the node's identifier.
 func (n *Node) ID() int { return n.id }
 
-// Array exposes the node's disk array (for tests and capacity checks).
+// Array exposes the node's disk array (for tests, capacity checks, and fault
+// injection).
 func (n *Node) Array() *disk.Array { return n.array }
+
+// Queue exposes the node's request queue (for rebuild processes that must
+// contend with foreground requests).
+func (n *Node) Queue() *sim.Resource { return n.queue }
+
+// Fail takes the node out of service at the current instant: queued requests
+// are ejected with ErrDown and new requests are refused until Restore. The
+// request in service, if any, completes (its data was already in flight).
+func (n *Node) Fail(p *sim.Process) {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.failures++
+	n.downSince = p.Now()
+	n.queue.Break(p)
+}
+
+// Restore returns the node to service.
+func (n *Node) Restore(p *sim.Process) {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.downTime += p.Now() - n.downSince
+	n.queue.Repair()
+}
+
+// Down reports whether the node is out of service.
+func (n *Node) Down() bool { return n.down }
+
+// SetLatencyFactor scales subsequent request service times by f (>= 1 models
+// an injected latency storm; 1 or 0 restores nominal service).
+func (n *Node) SetLatencyFactor(f float64) { n.latency = f }
+
+// LatencyFactor returns the current service-time multiplier (1 if nominal).
+func (n *Node) LatencyFactor() float64 {
+	if n.latency == 0 {
+		return 1
+	}
+	return n.latency
+}
+
+// scale applies the latency factor. The nominal path returns t unchanged (no
+// float round-trip), so healthy runs are bit-identical.
+func (n *Node) scale(t sim.Time) sim.Time {
+	if n.latency == 0 || n.latency == 1 {
+		return t
+	}
+	return sim.Time(float64(t) * n.latency)
+}
+
+// usable refuses service while the node is down or its array is dead.
+func (n *Node) usable() error {
+	if n.down || n.array.Dead() {
+		n.rejected++
+		return ErrDown
+	}
+	return nil
+}
 
 // Do services one request against the array byte address space: the caller
 // queues FIFO, then is charged the array service time. The stream key (the
-// file identity) drives sequential-access detection. It returns the total
-// time spent (queueing + service).
-func (n *Node) Do(p *sim.Process, stream, addr, bytes int64) sim.Time {
+// file identity) drives sequential-access detection; read selects the
+// degraded-mode read path when a drive is out. It returns the total time
+// spent (queueing + service) and ErrDown if the node is (or goes) out of
+// service before the request reaches the array.
+func (n *Node) Do(p *sim.Process, stream, addr, bytes int64, read bool) (sim.Time, error) {
 	start := p.Now()
-	n.queue.Acquire(p)
-	svc := n.array.ServiceTime(stream, addr, bytes)
+	if err := n.usable(); err != nil {
+		return 0, err
+	}
+	if err := n.queue.AcquireWait(p); err != nil {
+		n.rejected++
+		return p.Now() - start, ErrDown
+	}
+	if err := n.usable(); err != nil {
+		// The array died while we queued (second drive failure).
+		n.queue.Release(p)
+		return p.Now() - start, ErrDown
+	}
+	svc := n.scale(n.array.Service(stream, addr, bytes, read))
 	p.Sleep(svc)
 	n.queue.Release(p)
 	n.requests++
 	n.bytes += bytes
-	return p.Now() - start
+	return p.Now() - start, nil
 }
 
 // DoSweep services a scatter-gather batch: `requests` disjoint pieces
 // totalling `bytes`, submitted together and serviced in one sorted arm pass
 // starting at addr. The caller queues once for the whole sweep.
-func (n *Node) DoSweep(p *sim.Process, stream, addr, bytes int64, requests int) sim.Time {
+func (n *Node) DoSweep(p *sim.Process, stream, addr, bytes int64, requests int) (sim.Time, error) {
 	start := p.Now()
-	n.queue.Acquire(p)
-	svc := n.array.SweepServiceTime(stream, addr, bytes, requests)
+	if err := n.usable(); err != nil {
+		return 0, err
+	}
+	if err := n.queue.AcquireWait(p); err != nil {
+		n.rejected++
+		return p.Now() - start, ErrDown
+	}
+	if err := n.usable(); err != nil {
+		n.queue.Release(p)
+		return p.Now() - start, ErrDown
+	}
+	svc := n.scale(n.array.SweepServiceTime(stream, addr, bytes, requests))
 	p.Sleep(svc)
 	n.queue.Release(p)
 	n.requests += int64(requests)
 	n.bytes += bytes
-	return p.Now() - start
+	return p.Now() - start, nil
 }
 
 // Sync charges a cheap queue round-trip with no data transfer; used for
 // flush and size queries.
-func (n *Node) Sync(p *sim.Process, cost sim.Time) sim.Time {
+func (n *Node) Sync(p *sim.Process, cost sim.Time) (sim.Time, error) {
 	start := p.Now()
-	n.queue.Acquire(p)
-	p.Sleep(cost)
+	if err := n.usable(); err != nil {
+		return 0, err
+	}
+	if err := n.queue.AcquireWait(p); err != nil {
+		n.rejected++
+		return p.Now() - start, ErrDown
+	}
+	p.Sleep(n.scale(cost))
 	n.queue.Release(p)
-	return p.Now() - start
+	return p.Now() - start, nil
 }
 
 // Stats reports accumulated request count and bytes moved through this node.
 func (n *Node) Stats() (requests, bytes int64) { return n.requests, n.bytes }
+
+// FaultStats summarizes the node's fault history.
+type FaultStats struct {
+	Failures int64    // outages begun
+	Rejected int64    // requests refused or ejected while down
+	DownTime sim.Time // completed outage intervals
+}
+
+// FaultStats returns the node's fault counters. DownTime covers completed
+// outages; an outage still open is reported via DownSince.
+func (n *Node) FaultStats() FaultStats {
+	return FaultStats{Failures: n.failures, Rejected: n.rejected, DownTime: n.downTime}
+}
+
+// DownSince returns the start of the current outage, if the node is down.
+func (n *Node) DownSince() (sim.Time, bool) {
+	if !n.down {
+		return 0, false
+	}
+	return n.downSince, true
+}
 
 // Utilization reports the fraction of time the array server was busy up to
 // the given instant.

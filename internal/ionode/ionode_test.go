@@ -25,7 +25,7 @@ func TestRequestsQueueFIFO(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		i := i
 		eng.SpawnAt(fmt.Sprintf("c%d", i), sim.Time(i)*sim.Microsecond, func(p *sim.Process) {
-			n.Do(p, 0, int64(i)*1<<20, 1000) // distinct, non-sequential addresses
+			n.Do(p, 0, int64(i)*1<<20, 1000, false) // distinct, non-sequential addresses
 			order = append(order, i)
 		})
 	}
@@ -50,7 +50,7 @@ func TestContentionInflatesLatency(t *testing.T) {
 		eng := sim.NewEngine()
 		n := New(eng, 0, cfg())
 		var d sim.Time
-		eng.Spawn("c", func(p *sim.Process) { d = n.Do(p, 0, 1<<20, 1000) })
+		eng.Spawn("c", func(p *sim.Process) { d, _ = n.Do(p, 0, 1<<20, 1000, false) })
 		if err := eng.Run(); err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func TestContentionInflatesLatency(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		i := i
 		eng.Spawn(fmt.Sprintf("c%d", i), func(p *sim.Process) {
-			d := n.Do(p, 0, int64(i)*1<<20, 1000)
+			d, _ := n.Do(p, 0, int64(i)*1<<20, 1000, false)
 			if d > worst {
 				worst = d
 			}
@@ -81,7 +81,7 @@ func TestSyncChargesCost(t *testing.T) {
 	eng := sim.NewEngine()
 	n := New(eng, 3, cfg())
 	var d sim.Time
-	eng.Spawn("c", func(p *sim.Process) { d = n.Sync(p, 5*sim.Millisecond) })
+	eng.Spawn("c", func(p *sim.Process) { d, _ = n.Sync(p, 5*sim.Millisecond) })
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestUtilizationReflectsBusyFraction(t *testing.T) {
 	eng := sim.NewEngine()
 	n := New(eng, 0, cfg())
 	eng.Spawn("c", func(p *sim.Process) {
-		n.Do(p, 0, 0, 1000) // ~11 ms busy
+		n.Do(p, 0, 0, 1000, false) // ~11 ms busy
 		p.Sleep(89 * sim.Millisecond)
 	})
 	if err := eng.Run(); err != nil {
@@ -114,9 +114,10 @@ func TestDoSweepCheaperThanIndividualRequests(t *testing.T) {
 	n := New(eng, 0, cfg())
 	var sweep, individual sim.Time
 	eng.Spawn("c", func(p *sim.Process) {
-		sweep = n.DoSweep(p, 1, 0, 8*2048, 8)
+		sweep, _ = n.DoSweep(p, 1, 0, 8*2048, 8)
 		for i := int64(0); i < 8; i++ {
-			individual += n.Do(p, 2, 1<<20+i*1<<19, 2048)
+			d, _ := n.Do(p, 2, 1<<20+i*1<<19, 2048, false)
+			individual += d
 		}
 	})
 	if err := eng.Run(); err != nil {

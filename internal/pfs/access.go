@@ -38,7 +38,9 @@ func (fs *FileSystem) Access(p *sim.Process, node int, name string, op iotrace.O
 		}
 	}
 	if n > 0 {
-		fs.transfer(p, node, f, off, n)
+		if err := fs.transfer(p, node, f, off, n, op == iotrace.OpRead); err != nil {
+			return 0, err
+		}
 		if op == iotrace.OpWrite {
 			f.extend(off + n)
 		}
@@ -126,7 +128,9 @@ func (fs *FileSystem) WriteGather(p *sim.Process, node int, name string, extents
 		}
 		sweeps++
 		fs.msh.Transfer(p, node, fs.ionHome[ion], g.bytes)
-		fs.ion[ion].DoSweep(p, int64(f.id), g.addr, g.bytes, g.requests)
+		if _, err := fs.ion[ion].DoSweep(p, int64(f.id), g.addr, g.bytes, g.requests); err != nil {
+			return total, sweeps, fmt.Errorf("write-gather %q at ionode %d: %w", name, ion, ErrIONodeDown)
+		}
 		fs.record(node, iotrace.OpWrite, f, g.firstOff, g.bytes, start, iotrace.ModeAsync)
 		start = p.Now()
 	}

@@ -55,10 +55,13 @@ func (h *Handle) ReadAsync(p *sim.Process, n int64) (*AsyncRead, error) {
 	fs.eng.Spawn(fmt.Sprintf("aread:%s@%d", f.name, off), func(bg *sim.Process) {
 		if h.mode == iotrace.ModeUnix {
 			f.token.Acquire(bg)
-			fs.transfer(bg, h.node, f, off, n)
+			ar.err = fs.transfer(bg, h.node, f, off, n, true)
 			f.token.Release(bg)
 		} else {
-			fs.transfer(bg, h.node, f, off, n)
+			ar.err = fs.transfer(bg, h.node, f, off, n, true)
+		}
+		if ar.err != nil {
+			ar.bytes = 0
 		}
 		ar.comp.Complete(bg)
 	})

@@ -20,6 +20,39 @@ type Config struct {
 	// Zero derives N from the mesh (total positions minus I/O nodes),
 	// which is only correct when the mesh holds exactly the partition.
 	ComputeNodes int
+
+	// Failover governs what a request does when its I/O node is down. The
+	// zero value disables failover entirely: a request to a dead node
+	// errors out immediately (the paper-faithful behaviour — PFS had no
+	// redundancy across I/O nodes).
+	Failover FailoverConfig
+}
+
+// FailoverConfig describes the request failover policy used under injected
+// I/O-node outages. With Enabled, a request that finds (or is ejected from)
+// a dead node charges DetectTimeout, then retries up to MaxRetries times
+// with exponential backoff. With Replicate, every stripe additionally keeps
+// a replica on the next I/O node: writes are mirrored to it, and retries
+// re-route to it instead of hammering the dead primary — so reads survive an
+// outage at the cost of doubled write traffic.
+type FailoverConfig struct {
+	Enabled       bool
+	DetectTimeout sim.Time // cost to conclude the primary is dead
+	Backoff       sim.Time // first retry delay; doubles per retry
+	MaxRetries    int
+	Replicate     bool
+}
+
+// DefaultFailoverConfig returns a failover policy with a 50 ms detection
+// timeout, 100 ms initial backoff, and 4 retries. Replication is off;
+// callers wanting reroute-to-replica set Replicate.
+func DefaultFailoverConfig() FailoverConfig {
+	return FailoverConfig{
+		Enabled:       true,
+		DetectTimeout: 50 * sim.Millisecond,
+		Backoff:       100 * sim.Millisecond,
+		MaxRetries:    4,
+	}
 }
 
 // DefaultConfig returns the CCSF Paragon configuration from §3.2: 16 I/O

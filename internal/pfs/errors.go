@@ -31,6 +31,13 @@ var (
 
 	// ErrEOF is returned by reads positioned at or beyond end of file.
 	ErrEOF = errors.New("pfs: end of file")
+
+	// ErrIONodeDown is returned when a transfer's I/O node is out of
+	// service and the failover policy (if any) could not complete the
+	// request elsewhere. It is the fatal I/O error of the fault-injection
+	// scenarios; applications that see it either die (and are restarted
+	// from a checkpoint) or surface it to the caller.
+	ErrIONodeDown = errors.New("pfs: I/O node down and failover exhausted")
 )
 
 // Seek whence values, matching the os package's convention.

@@ -42,22 +42,23 @@ func (h *Handle) drainWriteBuffer(p *sim.Process) error {
 	start, n := h.bufStart, h.bufLen
 	h.bufStart, h.bufLen = 0, 0
 	f.token.Acquire(p)
-	h.fs.transfer(p, h.node, f, start, n)
+	err := h.fs.transfer(p, h.node, f, start, n, false)
 	f.token.Release(p)
-	return nil
+	return err
 }
 
 // bufferedWrite appends a small sequential write to the client buffer,
 // performing a physical transfer for each full buffer. It returns false if
 // the write cannot be buffered (non-sequential or too large), in which case
-// the caller drains and falls back to the direct path.
-func (h *Handle) bufferedWrite(p *sim.Process, n int64) bool {
+// the caller drains and falls back to the direct path. A non-nil error means
+// a full buffer's physical transfer failed.
+func (h *Handle) bufferedWrite(p *sim.Process, n int64) (bool, error) {
 	limit := h.fs.cfg.Cost.WriteBufferBytes
 	if n >= limit {
-		return false
+		return false, nil
 	}
 	if h.bufLen > 0 && h.offset != h.bufStart+h.bufLen {
-		return false
+		return false, nil
 	}
 	if h.bufLen == 0 {
 		h.bufStart = h.offset
@@ -68,12 +69,15 @@ func (h *Handle) bufferedWrite(p *sim.Process, n int64) bool {
 	for h.bufLen >= limit {
 		f := h.file
 		f.token.Acquire(p)
-		h.fs.transfer(p, h.node, f, h.bufStart, limit)
+		err := h.fs.transfer(p, h.node, f, h.bufStart, limit, false)
 		f.token.Release(p)
+		if err != nil {
+			return true, err
+		}
 		h.bufStart += limit
 		h.bufLen -= limit
 	}
-	return true
+	return true, nil
 }
 
 // Node returns the compute node that owns the handle.
@@ -127,9 +131,11 @@ func (h *Handle) access(p *sim.Process, op iotrace.Op, n int64) (int64, error) {
 	case iotrace.ModeUnix, iotrace.ModeNone:
 		// Independent pointer; POSIX atomicity via the file token.
 		at = h.offset
-		if h.buffered() && op == iotrace.OpWrite && h.bufferedWrite(p, n) {
-			done = n
-			break
+		if h.buffered() && op == iotrace.OpWrite {
+			if ok, berr := h.bufferedWrite(p, n); ok {
+				done, err = n, berr
+				break
+			}
 		}
 		if err := h.drainWriteBuffer(p); err != nil {
 			return 0, err
@@ -229,7 +235,9 @@ func (h *Handle) doAt(p *sim.Process, op iotrace.Op, off, n int64) (int64, error
 	if n == 0 {
 		return 0, nil
 	}
-	h.fs.transfer(p, h.node, f, off, n)
+	if err := h.fs.transfer(p, h.node, f, off, n, op != iotrace.OpWrite); err != nil {
+		return 0, err
+	}
 	if op == iotrace.OpWrite {
 		f.extend(off + n)
 	}
@@ -341,7 +349,9 @@ func (h *Handle) Lsize(p *sim.Process) (int64, error) {
 	start := p.Now()
 	p.Sleep(fs.cfg.Cost.ClientOverhead)
 	ion := f.stripeIONode(0, len(fs.ion))
-	fs.ion[ion].Sync(p, fs.cfg.Cost.LsizeService)
+	if err := fs.syncIO(p, ion, fs.cfg.Cost.LsizeService); err != nil {
+		return 0, fmt.Errorf("lsize %q: %w", f.name, err)
+	}
 	fs.record(h.node, iotrace.OpLsize, f, 0, 0, start, h.mode)
 	return f.size, nil
 }
@@ -360,7 +370,9 @@ func (h *Handle) Flush(p *sim.Process) error {
 	}
 	stripe := h.offset / fs.cfg.StripeUnit
 	ion := f.stripeIONode(stripe, len(fs.ion))
-	fs.ion[ion].Sync(p, fs.cfg.Cost.FlushService)
+	if err := fs.syncIO(p, ion, fs.cfg.Cost.FlushService); err != nil {
+		return fmt.Errorf("flush %q: %w", f.name, err)
+	}
 	fs.record(h.node, iotrace.OpFlush, f, h.offset, 0, start, h.mode)
 	return nil
 }

@@ -44,6 +44,19 @@ type FileSystem struct {
 	opCount [iotrace.NumOps]int64
 	opBytes [iotrace.NumOps]int64
 	opTime  [iotrace.NumOps]sim.Time
+
+	fo FailoverStats
+}
+
+// FailoverStats counts the failover machinery's activity under injected
+// I/O-node outages. All zeros on a healthy run.
+type FailoverStats struct {
+	Timeouts     int64    // requests that found their primary I/O node dead
+	Retries      int64    // retry attempts issued
+	Reroutes     int64    // chunks completed on a replica node
+	MirrorWrites int64    // replica write chunks issued (Replicate only)
+	Failed       int64    // chunks abandoned with ErrIONodeDown
+	BackoffTime  sim.Time // total time spent in detection + backoff delays
 }
 
 // New creates a PFS instance on the given engine and mesh. The I/O nodes are
@@ -235,10 +248,24 @@ func (fs *FileSystem) chargeColdOpen(p *sim.Process) {
 	p.Sleep(fs.cfg.Cost.FirstOpenPenalty)
 }
 
+// FailoverStats returns the accumulated failover counters.
+func (fs *FileSystem) FailoverStats() FailoverStats { return fs.fo }
+
+// Replica placement: stripe chunks whose primary is I/O node i keep their
+// replica on node (i+1) mod N, in a separate region of that node's array
+// address space (and under a separate sequential-detection stream) so
+// replica traffic does not masquerade as a continuation of primary streams.
+const (
+	replicaStreamBit = int64(1) << 40
+	replicaAddrBit   = int64(1) << 33
+)
+
 // transfer moves bytes between compute node `node` and the stripes of f in
 // [off, off+n), charging mesh and I/O-node costs chunk by chunk. It is the
-// physical data path shared by every mode.
-func (fs *FileSystem) transfer(p *sim.Process, node int, f *File, off, n int64) {
+// physical data path shared by every mode. When a chunk's I/O node is down,
+// the configured failover policy runs; with failover disabled or exhausted,
+// the transfer stops with ErrIONodeDown.
+func (fs *FileSystem) transfer(p *sim.Process, node int, f *File, off, n int64, read bool) error {
 	su := fs.cfg.StripeUnit
 	cur := off
 	end := off + n
@@ -251,10 +278,108 @@ func (fs *FileSystem) transfer(p *sim.Process, node int, f *File, off, n int64) 
 		chunk := chunkEnd - cur
 		ion := f.stripeIONode(stripe, len(fs.ion))
 		addr := f.arrayAddr(stripe, cur%su, len(fs.ion), su)
-		fs.msh.Transfer(p, node, fs.ionHome[ion], chunk)
-		fs.ion[ion].Do(p, int64(f.id), addr, chunk)
+		if err := fs.chunkIO(p, node, f, ion, addr, chunk, read); err != nil {
+			return err
+		}
 		cur = chunkEnd
 	}
+	return nil
+}
+
+// tryNode issues one chunk to a specific I/O node, charging the mesh hop and
+// the node's queueing + service time.
+func (fs *FileSystem) tryNode(p *sim.Process, node, ion int, stream, addr, chunk int64, read bool) error {
+	fs.msh.Transfer(p, node, fs.ionHome[ion], chunk)
+	_, err := fs.ion[ion].Do(p, stream, addr, chunk, read)
+	return err
+}
+
+// chunkIO services one stripe chunk with failover. The healthy fast path is
+// a single tryNode call, identical in cost to the pre-failover data path.
+func (fs *FileSystem) chunkIO(p *sim.Process, node int, f *File, ion int, addr, chunk int64, read bool) error {
+	err := fs.tryNode(p, node, ion, int64(f.id), addr, chunk, read)
+	fo := fs.cfg.Failover
+	if err == nil {
+		if !read && fo.Enabled && fo.Replicate && len(fs.ion) > 1 {
+			fs.mirrorWrite(p, node, f, ion, addr, chunk)
+		}
+		return nil
+	}
+	if !fo.Enabled {
+		fs.fo.Failed++
+		return fmt.Errorf("pfs: %s chunk at ionode %d: %w", rw(read), ion, ErrIONodeDown)
+	}
+
+	// Primary is dead: charge the detection timeout, then retry with
+	// exponential backoff — against the replica when one exists, else
+	// against the primary in the hope the outage ends first.
+	fs.fo.Timeouts++
+	fs.fo.BackoffTime += fo.DetectTimeout
+	p.Sleep(fo.DetectTimeout)
+	backoff := fo.Backoff
+	for attempt := 0; attempt < fo.MaxRetries; attempt++ {
+		if backoff > 0 {
+			fs.fo.BackoffTime += backoff
+			p.Sleep(backoff)
+			backoff *= 2
+		}
+		fs.fo.Retries++
+		target, stream, taddr := ion, int64(f.id), addr
+		if fo.Replicate && len(fs.ion) > 1 {
+			target = (ion + 1) % len(fs.ion)
+			stream |= replicaStreamBit
+			taddr |= replicaAddrBit
+		}
+		if err := fs.tryNode(p, node, target, stream, taddr, chunk, read); err == nil {
+			if target != ion {
+				fs.fo.Reroutes++
+			}
+			return nil
+		}
+	}
+	fs.fo.Failed++
+	return fmt.Errorf("pfs: %s chunk at ionode %d: %w", rw(read), ion, ErrIONodeDown)
+}
+
+// mirrorWrite pushes a chunk's replica to the next I/O node. A failed mirror
+// is not fatal — the primary holds the data — but is counted.
+func (fs *FileSystem) mirrorWrite(p *sim.Process, node int, f *File, ion int, addr, chunk int64) {
+	target := (ion + 1) % len(fs.ion)
+	fs.fo.MirrorWrites++
+	fs.msh.Transfer(p, node, fs.ionHome[target], chunk)
+	_, _ = fs.ion[target].Do(p, int64(f.id)|replicaStreamBit, addr|replicaAddrBit, chunk, false)
+}
+
+func rw(read bool) string {
+	if read {
+		return "read"
+	}
+	return "write"
+}
+
+// syncIO charges a control round-trip (flush, lsize) at an I/O node, falling
+// over to the neighbouring node after the detection timeout when the primary
+// is down and failover is enabled.
+func (fs *FileSystem) syncIO(p *sim.Process, ion int, cost sim.Time) error {
+	_, err := fs.ion[ion].Sync(p, cost)
+	if err == nil {
+		return nil
+	}
+	fo := fs.cfg.Failover
+	if !fo.Enabled || len(fs.ion) < 2 {
+		fs.fo.Failed++
+		return ErrIONodeDown
+	}
+	fs.fo.Timeouts++
+	fs.fo.BackoffTime += fo.DetectTimeout
+	p.Sleep(fo.DetectTimeout)
+	fs.fo.Retries++
+	if _, err := fs.ion[(ion+1)%len(fs.ion)].Sync(p, cost); err != nil {
+		fs.fo.Failed++
+		return ErrIONodeDown
+	}
+	fs.fo.Reroutes++
+	return nil
 }
 
 // DiskConfig is re-exported for callers needing the array model defaults.

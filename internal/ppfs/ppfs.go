@@ -75,6 +75,9 @@ func (fs *FileSystem) SetPhase(name string) {
 	fs.under.SetPhase(name)
 }
 
+// Phase returns the current phase label.
+func (fs *FileSystem) Phase() string { return fs.phase }
+
 // Preload implements workload.FS.
 func (fs *FileSystem) Preload(name string, size int64) (pfs.FileInfo, error) {
 	return fs.under.Preload(name, size)

@@ -36,6 +36,16 @@ type Options struct {
 	// (compute time); false issues each node's requests back to back,
 	// measuring the configuration's peak response to the request stream.
 	PreserveThinkTime bool
+
+	// ThinkJitter perturbs each preserved think gap by up to ±this
+	// fraction (0 replays the gaps exactly). Jitter models run-to-run
+	// compute variability around the recorded trace; it only applies with
+	// PreserveThinkTime.
+	ThinkJitter float64
+
+	// Seed drives the jitter streams: the same (trace, options) replay is
+	// bit-identical, a different seed gives an independent perturbation.
+	Seed uint64
 }
 
 // Result is the outcome of a replay.
@@ -108,11 +118,24 @@ func Run(events []iotrace.Event, opt Options) (*Result, error) {
 		streams[e.Node] = append(streams[e.Node], e)
 	}
 
+	// Spawn in node order: each node draws its jitter stream from the
+	// shared seed in a fixed sequence, and event-time ties break the same
+	// way on every run.
+	nodeIDs := make([]int, 0, len(streams))
+	for node := range streams {
+		nodeIDs = append(nodeIDs, node)
+	}
+	sort.Ints(nodeIDs)
+	base := sim.NewRNG(opt.Seed)
 	res := &Result{}
-	for node, stream := range streams {
-		node, stream := node, stream
+	for _, node := range nodeIDs {
+		node, stream := node, streams[node]
+		var rng *sim.RNG
+		if opt.PreserveThinkTime && opt.ThinkJitter > 0 {
+			rng = base.Split()
+		}
 		m.Eng.Spawn(fmt.Sprintf("replay-n%d", node), func(p *sim.Process) {
-			res.Skipped += replayNode(p, m, names, node, stream, opt.PreserveThinkTime)
+			res.Skipped += replayNode(p, m, names, node, stream, opt.PreserveThinkTime, rng, opt.ThinkJitter)
 		})
 	}
 	if err := m.Eng.Run(); err != nil {
@@ -132,14 +155,18 @@ type asyncSlot struct {
 // replayNode reissues one node's stream. It returns the number of records
 // it had to skip.
 func replayNode(p *sim.Process, m *workload.Machine, names map[iotrace.FileID]string,
-	node int, stream []iotrace.Event, think bool) int64 {
+	node int, stream []iotrace.Event, think bool, rng *sim.RNG, jitter float64) int64 {
 	var skipped int64
 	var prevEnd sim.Time
 	pending := map[iotrace.FileID][]*asyncSlot{}
 
 	for _, e := range stream {
 		if think && e.Start > prevEnd {
-			p.Sleep(e.Start - prevEnd)
+			gap := e.Start - prevEnd
+			if rng != nil {
+				gap = rng.Jitter(gap, jitter)
+			}
+			p.Sleep(gap)
 		}
 		prevEnd = e.End
 

@@ -164,6 +164,34 @@ func TestReplaySlicedTraceSkipsGracefully(t *testing.T) {
 	}
 }
 
+func TestReplayThinkJitterSeeded(t *testing.T) {
+	trace := smallTrace(t)
+	jittered := func(seed uint64) sim.Time {
+		opt := baseOptions()
+		opt.ThinkJitter = 0.3
+		opt.Seed = seed
+		res, err := Run(trace, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	exact, err := Run(trace, baseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := jittered(1), jittered(1), jittered(2)
+	if a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+	if a == c {
+		t.Errorf("seeds 1 and 2 gave identical makespan %v", a)
+	}
+	if a == exact.Makespan && c == exact.Makespan {
+		t.Error("jitter had no effect on makespan")
+	}
+}
+
 func TestReplayAsyncReadsComplete(t *testing.T) {
 	trace := []iotrace.Event{
 		{Seq: 1, Node: 0, Op: iotrace.OpAsyncRead, File: 1, Offset: 0, Bytes: 1 << 20,

@@ -1,6 +1,14 @@
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBroken is returned by AcquireWait when the resource has been broken by
+// Break — the modeled device failed while the caller was queued (or before it
+// arrived).
+var ErrBroken = errors.New("sim: resource is broken")
 
 // Resource is a FIFO server with fixed capacity: at most cap processes hold
 // it at once; further acquirers queue in arrival order. It models contended
@@ -9,12 +17,19 @@ import "fmt"
 //
 // Resource also keeps simple utilization statistics so analyses can report
 // device busy time and queueing delay.
+//
+// A resource can be interrupted: Break marks it broken and ejects every
+// queued waiter (their AcquireWait returns ErrBroken), modeling a device
+// failure under load; Repair restores normal service. Holders at Break time
+// keep their unit — the request already in service completes.
 type Resource struct {
 	eng      *Engine
 	name     string
 	capacity int
 	inUse    int
 	waiters  []*Process
+	broken   bool
+	granted  map[*Process]bool // waiters woken by a direct unit hand-off
 
 	// statistics
 	lastChange Time
@@ -22,6 +37,7 @@ type Resource struct {
 	acquires   int64
 	waitTotal  Time
 	queuePeak  int
+	breaks     int64
 }
 
 // NewResource creates a resource with the given capacity (>= 1).
@@ -51,13 +67,26 @@ func (r *Resource) account() {
 }
 
 // Acquire blocks p until it holds one unit of the resource. Units are granted
-// strictly in request order.
+// strictly in request order. Acquire must not be used on resources that can
+// break (use AcquireWait there); acquiring a broken resource panics.
 func (r *Resource) Acquire(p *Process) {
+	if err := r.AcquireWait(p); err != nil {
+		panic(fmt.Sprintf("sim: Acquire on broken resource %q", r.name))
+	}
+}
+
+// AcquireWait blocks p until it holds one unit of the resource, like Acquire,
+// but returns ErrBroken instead of granting a unit if the resource is broken
+// on arrival or breaks while p is queued.
+func (r *Resource) AcquireWait(p *Process) error {
+	if r.broken {
+		return ErrBroken
+	}
 	r.acquires++
 	if r.inUse < r.capacity && len(r.waiters) == 0 {
 		r.account()
 		r.inUse++
-		return
+		return nil
 	}
 	start := r.eng.now
 	r.waiters = append(r.waiters, p)
@@ -65,7 +94,14 @@ func (r *Resource) Acquire(p *Process) {
 		r.queuePeak = len(r.waiters)
 	}
 	p.Park("resource:" + r.name)
+	if r.granted[p] {
+		delete(r.granted, p)
+		r.waitTotal += r.eng.now - start
+		return nil
+	}
+	// Woken without a unit hand-off: ejected by Break.
 	r.waitTotal += r.eng.now - start
+	return ErrBroken
 }
 
 // Release returns one unit. If processes are queued, the unit passes directly
@@ -78,12 +114,39 @@ func (r *Resource) Release(p *Process) {
 	if len(r.waiters) > 0 {
 		next := r.waiters[0]
 		r.waiters = r.waiters[1:]
+		if r.granted == nil {
+			r.granted = make(map[*Process]bool)
+		}
+		r.granted[next] = true
 		p.Wake(next) // unit transfers; inUse unchanged
 		return
 	}
 	r.account()
 	r.inUse--
 }
+
+// Break marks the resource broken and ejects all queued waiters, whose
+// AcquireWait calls return ErrBroken. Current holders are unaffected (their
+// in-flight service completes). Subsequent AcquireWait calls fail until
+// Repair.
+func (r *Resource) Break(p *Process) {
+	if r.broken {
+		return
+	}
+	r.broken = true
+	r.breaks++
+	ejected := r.waiters
+	r.waiters = nil
+	for _, w := range ejected {
+		p.Wake(w)
+	}
+}
+
+// Repair restores a broken resource to service.
+func (r *Resource) Repair() { r.broken = false }
+
+// Broken reports whether the resource is out of service.
+func (r *Resource) Broken() bool { return r.broken }
 
 // Use acquires the resource, holds it for the service time, and releases it.
 // It returns the total elapsed time including queueing delay.
@@ -102,6 +165,7 @@ type ResourceStats struct {
 	Utilization float64 // mean fraction of capacity busy, up to `at`
 	TotalWait   Time    // sum of queueing delays over all acquirers
 	QueuePeak   int     // maximum observed queue length
+	Breaks      int64   // times the resource was broken (fault injection)
 }
 
 // StatsAt returns usage statistics evaluated at simulated time at (usually
@@ -118,5 +182,6 @@ func (r *Resource) StatsAt(at Time) ResourceStats {
 		Utilization: util,
 		TotalWait:   r.waitTotal,
 		QueuePeak:   r.queuePeak,
+		Breaks:      r.breaks,
 	}
 }

@@ -73,12 +73,31 @@ func Run(m *Machine, fs FS, app App) error {
 // it so a failure inside a spawned node program surfaces from Run instead of
 // being lost (or deadlocking the barrier group).
 type NodeErrors struct {
-	errs []error
+	eng     *sim.Engine
+	errs    []error
+	firstAt sim.Time
 }
+
+// Attach binds the collector to the run's engine so failures are stamped with
+// the simulated time they occurred — the fault-injection driver uses the
+// first failure's instant for lost-work accounting.
+func (n *NodeErrors) Attach(eng *sim.Engine) { n.eng = eng }
 
 // Addf records a failure.
 func (n *NodeErrors) Addf(format string, args ...any) {
+	if len(n.errs) == 0 && n.eng != nil {
+		n.firstAt = n.eng.Now()
+	}
 	n.errs = append(n.errs, fmt.Errorf(format, args...))
+}
+
+// FirstAt returns the simulated instant of the first failure, if any was
+// recorded on an engine-attached collector.
+func (n *NodeErrors) FirstAt() (sim.Time, bool) {
+	if len(n.errs) == 0 || n.eng == nil {
+		return 0, false
+	}
+	return n.firstAt, true
 }
 
 // Err returns the first recorded failure annotated with the total count, or

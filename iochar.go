@@ -18,8 +18,12 @@
 package iochar
 
 import (
+	"repro/internal/analysis"
+	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ppfs"
+	"repro/internal/sim"
 )
 
 // AppID names one of the characterized applications.
@@ -65,3 +69,64 @@ func DefaultPolicy() Policy { return ppfs.DefaultPolicy() }
 
 // DefaultCrossoverModel returns the paper-calibrated §7.2 parameters.
 func DefaultCrossoverModel() CrossoverModel { return core.DefaultCrossoverModel() }
+
+// Fault injection & resilience (the chaos side of the machine model).
+
+// Time is the simulated clock's type; Seconds converts wall seconds into it.
+type Time = sim.Time
+
+// Seconds converts a duration in seconds to simulated Time.
+func Seconds(s float64) Time { return sim.FromSeconds(s) }
+
+// FaultPlan is a declarative chaos schedule; the zero plan injects nothing.
+type FaultPlan = fault.Plan
+
+// FaultEvent, FaultExp and FaultCascade are a plan's building blocks: fixed
+// events, Poisson failure processes, and correlated multi-node cascades.
+type (
+	FaultEvent   = fault.Event
+	FaultExp     = fault.Exp
+	FaultCascade = fault.Cascade
+)
+
+// Fault kinds, and the AnyNode random-target selector.
+const (
+	DiskFailure  = fault.DiskFailure
+	IONodeOutage = fault.IONodeOutage
+	LatencyStorm = fault.LatencyStorm
+	AnyNode      = fault.AnyNode
+)
+
+// Incident is one realized fault on the timeline.
+type Incident = fault.Incident
+
+// CheckpointConfig is the coordinated checkpoint policy for resilient runs.
+type CheckpointConfig = ckpt.Config
+
+// ResilientStudy is a Study run under its fault plan with restart-from-
+// checkpoint semantics; ResilientReport its outcome.
+type (
+	ResilientStudy  = core.ResilientStudy
+	ResilientReport = core.ResilientReport
+)
+
+// ResilienceReport is the analysis-layer resilience summary; render it with
+// RenderResilience.
+type ResilienceReport = analysis.ResilienceReport
+
+// RunResilient executes the study under its fault plan, restarting from the
+// last committed checkpoint after each fatal fault.
+func RunResilient(rs ResilientStudy) (*ResilientReport, error) { return core.RunResilient(rs) }
+
+// TradeoffSweep reruns a resilient study across checkpoint intervals and
+// collects the overhead-versus-lost-work curve; render it with
+// analysis.RenderTradeoff.
+func TradeoffSweep(rs ResilientStudy, intervals []int) ([]analysis.TradeoffPoint, error) {
+	return core.TradeoffSweep(rs, intervals)
+}
+
+// RenderResilience formats a resilience summary as text.
+func RenderResilience(r ResilienceReport) string { return analysis.RenderResilience(r) }
+
+// RenderTradeoff formats a tradeoff sweep as text.
+func RenderTradeoff(points []analysis.TradeoffPoint) string { return analysis.RenderTradeoff(points) }
