@@ -258,6 +258,48 @@ func BenchmarkAblationESCATWriteBehind(b *testing.B) {
 	b.ReportMetric(float64(sweeps), "aggregated-sweeps")
 }
 
+// BenchmarkCacheESCATReads is the §8 I/O-node cache what-if at paper scale:
+// ESCAT's small sequential reads with and without the per-node block cache.
+// The simulated metrics record the pre/post mean read latency and the hit
+// ratio that produced the change.
+func BenchmarkCacheESCATReads(b *testing.B) {
+	meanRead := func(r *iochar.Report) sim.Time {
+		var n int64
+		var t sim.Time
+		for _, label := range []string{"Read", "AsynchRead"} {
+			if row := r.Summary.Row(label); row != nil {
+				n += row.Count
+				t += row.NodeTime
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return t / sim.Time(n)
+	}
+	var base, cached sim.Time
+	var hit float64
+	for i := 0; i < b.N; i++ {
+		run := func(on bool) *iochar.Report {
+			study := iochar.PaperStudy(iochar.ESCAT)
+			if on {
+				study.Machine.PFS.Cache = iochar.DefaultCacheConfig()
+			}
+			r, err := iochar.Run(study)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r
+		}
+		baseR, cachedR := run(false), run(true)
+		base, cached = meanRead(baseR), meanRead(cachedR)
+		hit = cachedR.Cache.Total.HitRatio()
+	}
+	b.ReportMetric(base.Seconds()*1e3, "pfs-read-ms")
+	b.ReportMetric(cached.Seconds()*1e3, "cached-read-ms")
+	b.ReportMetric(100*hit, "hit-pct")
+}
+
 func BenchmarkCrossoverHTFRecompute(b *testing.B) {
 	m := core.DefaultCrossoverModel()
 	var breakEven float64

@@ -1,0 +1,161 @@
+// Command benchjson runs the repository's Go benchmarks and writes the
+// results as JSON — a make-free wrapper so CI and PR descriptions can record
+// ns/op (and the simulated metrics each benchmark reports) without scraping
+// test output by hand.
+//
+// Usage:
+//
+//	benchjson [-bench REGEXP] [-pkg PKG] [-benchtime 1x] [-count 1] [-out BENCH_2.json]
+//
+// It shells out to `go test -run ^$ -bench ...` (the toolchain is a build
+// prerequisite of this repository, so no extra tooling is needed) and parses
+// the standard benchmark output lines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed outcome.
+type Result struct {
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the JSON document benchjson writes.
+type Output struct {
+	Package    string   `json:"package"`
+	Bench      string   `json:"bench"`
+	BenchTime  string   `json:"benchtime"`
+	GoVersion  string   `json:"go_version"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	bench := fs.String("bench", ".", "benchmark regexp passed to -bench")
+	pkg := fs.String("pkg", ".", "package to benchmark")
+	benchtime := fs.String("benchtime", "1x", "passed to -benchtime")
+	count := fs.Int("count", 1, "passed to -count")
+	out := fs.String("out", "BENCH_2.json", "output JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count), *pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+
+	results := Parse(string(raw))
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines in go test output")
+	}
+	doc := Output{
+		Package:    *pkg,
+		Bench:      *bench,
+		BenchTime:  *benchtime,
+		GoVersion:  goVersion(),
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("%d benchmarks -> %s", len(results), *out)
+	return nil
+}
+
+// Parse extracts benchmark results from `go test -bench` output. A line looks
+// like:
+//
+//	BenchmarkName-8   3   12345678 ns/op   4.50 extra-metric   2 ops
+//
+// Lines that do not start with "Benchmark" are ignored. Results are sorted by
+// name (stable across map-free parsing anyway, but explicit).
+func Parse(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: name, Procs: procs, Iters: iters}
+		// Remaining fields come in (value, unit) pairs.
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				r.NsPerOp = v
+				ok = true
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+		if ok {
+			results = append(results, r)
+		}
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results
+}
+
+// splitProcs splits "BenchmarkFoo-8" into ("BenchmarkFoo", 8).
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return s, 1
+	}
+	return s[:i], n
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

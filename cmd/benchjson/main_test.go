@@ -1,0 +1,66 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable1ESCATOps-8   	       3	  45123456 ns/op	     12345 ops	        88.20 io-node-s
+BenchmarkCacheESCATReads-8  	       1	 987654321 ns/op	        38.50 pfs-read-ms	        13.20 cached-read-ms	        69.20 hit-pct
+BenchmarkNoMetrics          	     100	     50000 ns/op
+garbage line that is not a benchmark
+BenchmarkBroken-8           	     abc	     50000 ns/op
+PASS
+ok  	repro	4.567s
+`
+
+func TestParse(t *testing.T) {
+	rs := Parse(sample)
+	if len(rs) != 3 {
+		t.Fatalf("%d results, want 3: %+v", len(rs), rs)
+	}
+	// Sorted by name.
+	if rs[0].Name != "BenchmarkCacheESCATReads" || rs[1].Name != "BenchmarkNoMetrics" ||
+		rs[2].Name != "BenchmarkTable1ESCATOps" {
+		t.Fatalf("order: %+v", rs)
+	}
+	c := rs[0]
+	if c.Procs != 8 || c.Iters != 1 || c.NsPerOp != 987654321 {
+		t.Fatalf("cache result %+v", c)
+	}
+	if c.Metrics["pfs-read-ms"] != 38.50 || c.Metrics["cached-read-ms"] != 13.20 ||
+		c.Metrics["hit-pct"] != 69.20 {
+		t.Fatalf("cache metrics %+v", c.Metrics)
+	}
+	n := rs[1]
+	if n.Procs != 1 || n.Iters != 100 || n.NsPerOp != 50000 || n.Metrics != nil {
+		t.Fatalf("no-metrics result %+v", n)
+	}
+	e := rs[2]
+	if e.Metrics["ops"] != 12345 || e.Metrics["io-node-s"] != 88.20 {
+		t.Fatalf("escat metrics %+v", e.Metrics)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if rs := Parse("PASS\nok repro 0.1s\n"); len(rs) != 0 {
+		t.Fatalf("parsed %d results from empty output", len(rs))
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q, %d", tc.in, name, procs)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	iochar -app escat [-small] [-policy none|ppfs|adaptive]
+//	       [-cache] [-cache-mb MB] [-prefetch=false]
 //	       [-trace FILE] [-trace-ascii] [-window SECONDS] [-figures DIR]
 //	       [-mtbf SECONDS -seed N]
 package main
@@ -19,6 +20,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/iotrace"
@@ -47,6 +49,9 @@ func run(args []string, out io.Writer) error {
 	jsonFile := fs.String("json", "", "write the characterization results as JSON to this file")
 	window := fs.Float64("window", 10, "time-window reduction width in seconds")
 	figures := fs.String("figures", "", "write figure CSV/ASCII files to this directory")
+	cacheOn := fs.Bool("cache", false, "attach a block cache with pattern-driven prefetch to every I/O node")
+	cacheMB := fs.Float64("cache-mb", 8, "per-node cache capacity in MB (with -cache)")
+	prefetch := fs.Bool("prefetch", true, "enable pattern-driven prefetch (with -cache)")
 	mtbf := fs.Float64("mtbf", 0, "inject I/O-node outages with this exponential mean time between failures in seconds (0 = none)")
 	outage := fs.Float64("outage", 5, "duration in seconds of each injected outage")
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting faults after this many simulated seconds")
@@ -74,6 +79,13 @@ func run(args []string, out io.Writer) error {
 		study.Policy = &pol
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	if *cacheOn {
+		ccfg := cache.DefaultConfig()
+		ccfg.CapacityBytes = int64(*cacheMB * float64(1<<20))
+		ccfg.Prefetch = *prefetch
+		study.Machine.PFS.Cache = ccfg
 	}
 
 	if *mtbf > 0 {
@@ -109,6 +121,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "PPFS policy activity: %d buffered writes, %d direct, %d flush extents (mean %s), %d drains, %d prefetches\n\n",
 			s.BufferedWrites, s.DirectWrites, s.Flushes,
 			analysis.HumanBytes(s.MeanFlushExtent()), s.Drains, s.Prefetches)
+	}
+	if report.Cache != nil {
+		fmt.Fprintln(out, analysis.RenderCacheReport(report.Cache))
 	}
 	if len(report.Incidents) > 0 {
 		fmt.Fprintln(out, analysis.RenderResilience(report.Resilience()))

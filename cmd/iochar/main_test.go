@@ -44,3 +44,76 @@ func TestSmokeBadPolicy(t *testing.T) {
 		t.Fatal("bad policy accepted")
 	}
 }
+
+// capture runs the CLI with args and returns its full output.
+func capture(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// sections returns the first line of every report section (lines ending in
+// a colon plus the table headers), the schema the cache flag must not alter.
+func sections(out string) []string {
+	var heads []string
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasSuffix(trimmed, ":") && !strings.Contains(trimmed, " -> ") {
+			heads = append(heads, trimmed)
+		}
+	}
+	return heads
+}
+
+func TestSmokeCacheFlagAddsStatsKeepsSchema(t *testing.T) {
+	off := capture(t, "-app", "escat", "-small")
+	on := capture(t, "-app", "escat", "-small", "-cache")
+
+	if strings.Contains(off, "Cache effectiveness:") {
+		t.Error("uncached run printed a cache report")
+	}
+	if !strings.Contains(on, "Cache effectiveness:") {
+		t.Error("cached run printed no cache report")
+	}
+	// Apart from the added cache section, the report schema is identical.
+	offHeads := sections(off)
+	var onHeads []string
+	for _, h := range sections(on) {
+		if h == "Cache effectiveness:" || h == "per node:" {
+			continue
+		}
+		onHeads = append(onHeads, h)
+	}
+	if strings.Join(offHeads, "\n") != strings.Join(onHeads, "\n") {
+		t.Errorf("cache flag changed the report sections:\noff: %v\non:  %v", offHeads, onHeads)
+	}
+}
+
+func TestSmokeCachedRunsByteIdentical(t *testing.T) {
+	args := []string{"-app", "htf", "-small", "-cache", "-cache-mb", "4"}
+	a := capture(t, args...)
+	b := capture(t, args...)
+	if a == "" {
+		t.Fatal("no output")
+	}
+	if a != b {
+		t.Error("two identical cached runs produced different output")
+	}
+}
+
+func TestSmokeCacheNoPrefetch(t *testing.T) {
+	out := capture(t, "-app", "escat", "-small", "-cache", "-prefetch=false")
+	if !strings.Contains(out, "Cache effectiveness:") {
+		t.Fatal("no cache report")
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "prefetch") && strings.Contains(line, "issued") {
+			if !strings.Contains(line, "0 issued") {
+				t.Errorf("prefetch disabled but line says %q", strings.TrimSpace(line))
+			}
+		}
+	}
+}

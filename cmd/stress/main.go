@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -54,6 +55,10 @@ func run(args []string, out io.Writer) error {
 	maxAttempts := fs.Int("max-attempts", 8, "give up after this many attempts")
 	failover := fs.Bool("failover", true, "enable PFS request failover (off: any outage kills the attempt)")
 	replicate := fs.Bool("replicate", true, "mirror stripes so reads survive outages")
+	cacheOn := fs.Bool("cache", false, "attach a block cache with pattern-driven prefetch to every I/O node")
+	cacheMB := fs.Float64("cache-mb", 8, "per-node cache capacity in MB (with -cache)")
+	prefetch := fs.Bool("prefetch", true, "enable pattern-driven prefetch (with -cache)")
+	flushOnFail := fs.Bool("flush-on-fail", false, "drain dirty cache blocks synchronously when a node fails instead of losing them")
 	sweep := fs.String("sweep", "", "comma-separated checkpoint intervals to sweep (e.g. 0,1,2,4)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +73,13 @@ func run(args []string, out io.Writer) error {
 	if *failover {
 		study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
 		study.Machine.PFS.Failover.Replicate = *replicate
+	}
+	if *cacheOn {
+		ccfg := cache.DefaultConfig()
+		ccfg.CapacityBytes = int64(*cacheMB * float64(1<<20))
+		ccfg.Prefetch = *prefetch
+		ccfg.FlushOnFail = *flushOnFail
+		study.Machine.PFS.Cache = ccfg
 	}
 
 	plan, err := loadPlan(*scenario, *config)
@@ -105,6 +117,9 @@ func run(args []string, out io.Writer) error {
 	}
 	printAttempts(out, rr.Attempts)
 	printIncidents(out, rr.Incidents)
+	if rr.Final != nil && rr.Final.Cache != nil {
+		fmt.Fprintln(out, analysis.RenderCacheReport(rr.Final.Cache))
+	}
 	fmt.Fprint(out, analysis.RenderResilience(rr.Resilience()))
 	return nil
 }

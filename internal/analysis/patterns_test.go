@@ -179,6 +179,83 @@ func TestCyclesUnbalancedCloseIgnored(t *testing.T) {
 	}
 }
 
+// The next three tests cover the access regimes the I/O-node cache
+// distinguishes (internal/cache mirrors this classifier's logic online):
+// small sequential reads prefetch well, fixed-record interleaved writes are
+// strided per stream, and random access defeats both.
+
+func TestPatternsCacheRegimeSmallSequentialReads(t *testing.T) {
+	// ESCAT-style: one node re-reading a file in 2 KB sequential requests.
+	var events []iotrace.Event
+	for i := int64(0); i < 40; i++ {
+		events = append(events, mkEvent(iotrace.OpRead, 1, 0, i*2048, 2048, sim.Time(i)*sim.Millisecond))
+	}
+	p := findStream(t, Patterns(events), 1, 0)
+	if p.SequentialFraction() != 1.0 {
+		t.Fatalf("sequential fraction %f, want 1", p.SequentialFraction())
+	}
+	if !p.FixedSize || p.Size != 2048 {
+		t.Fatalf("size %+v", p)
+	}
+	s := SummarizePatterns(Patterns(events))
+	if s.SequentialStreams != 1 || s.WeightedSequential != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestPatternsCacheRegimeInterleavedRecordWrites(t *testing.T) {
+	// M_RECORD-style: 4 nodes writing fixed 4 KB records interleaved
+	// node-major (node k writes records k, k+N, k+2N, ...). Per-node
+	// streams are strided — zero sequential transitions — but perfectly
+	// fixed-size, which is what the cache's stride predictor keys on.
+	const nodes, rounds, rec = 4, 10, int64(4096)
+	var events []iotrace.Event
+	for r := int64(0); r < rounds; r++ {
+		for n := 0; n < nodes; n++ {
+			off := (r*nodes + int64(n)) * rec
+			events = append(events, mkEvent(iotrace.OpWrite, 1, n, off, rec,
+				sim.Time(r*nodes+int64(n))*sim.Millisecond))
+		}
+	}
+	ps := Patterns(events)
+	if len(ps) != nodes {
+		t.Fatalf("%d streams, want %d", len(ps), nodes)
+	}
+	for _, p := range ps {
+		if p.Sequential != 0 {
+			t.Fatalf("node %d: interleaved stream counted %d sequential transitions", p.Node, p.Sequential)
+		}
+		if !p.FixedSize || p.Size != rec {
+			t.Fatalf("node %d: %+v", p.Node, p)
+		}
+		if p.Accesses != rounds {
+			t.Fatalf("node %d: %d accesses", p.Node, p.Accesses)
+		}
+	}
+	s := SummarizePatterns(ps)
+	if s.SequentialStreams != 0 || s.FixedSizeStreams != nodes {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestPatternsCacheRegimeRandomAccess(t *testing.T) {
+	// Random offsets with no adjacency: nothing sequential, nothing
+	// consecutive — the regime where a cache must not prefetch.
+	offs := []int64{9000, 100, 77700, 3100, 51000, 12, 64000, 8200}
+	var events []iotrace.Event
+	for i, off := range offs {
+		events = append(events, mkEvent(iotrace.OpRead, 1, 0, off, 64, sim.Time(i)*sim.Millisecond))
+	}
+	p := findStream(t, Patterns(events), 1, 0)
+	if p.Sequential != 0 || p.Consecutive != 0 {
+		t.Fatalf("random stream classified with locality: %+v", p)
+	}
+	s := SummarizePatterns(Patterns(events))
+	if s.SequentialStreams != 0 || s.WeightedSequential != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
 func TestRenderPatternSummary(t *testing.T) {
 	events := []iotrace.Event{
 		mkEvent(iotrace.OpOpen, 1, 0, 0, 0, 0),

@@ -1,0 +1,588 @@
+// Package cache models a per-I/O-node block cache with LRU eviction,
+// write-behind (dirty blocks flushed by a daemon that coalesces contiguous
+// runs), and pattern-driven prefetch — the §8 remedies the paper argues the
+// measured access patterns call for (caching, prefetching, write-behind
+// matched to sequential/interleaved small requests).
+//
+// The cache sits between the I/O node's request queue and its RAID-3 array:
+// hits are served from node memory without touching the array queue, misses
+// fetch whole blocks (coalescing adjacent missing blocks into one array
+// request), and write-behind absorbs writes at memory speed while a flush
+// daemon writes dirty runs back in block order. Like the rest of the
+// simulation it is a performance model: blocks carry no payload, only
+// residency, dirtiness and stream identity.
+//
+// Determinism: every externally visible action happens in an order that is a
+// pure function of the simulation state. Flushes and outage handling iterate
+// blocks in ascending block-index order (never map order), so two runs with
+// the same seed produce bit-identical traces.
+//
+// Fault interaction: when the owning I/O node fails, dirty blocks are either
+// synchronously drained to the array first (Config.FlushOnFail, the graceful
+// handoff) or discarded and counted as lost — the application's recovery is
+// the PFS failover/replica path, which re-reads or re-writes the data. All
+// in-flight fetches are aborted so no reader waits on a dead node forever.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Backend is the array-side interface the cache fetches and flushes
+// through. An I/O node implements it with its queue + RAID service path.
+type Backend interface {
+	// BlockIO performs one contiguous transfer against the backing array,
+	// charging queueing and service time to p.
+	BlockIO(p *sim.Process, stream, addr, bytes int64, read bool) error
+}
+
+// block is one resident cache block. Blocks are keyed by block index
+// (array address / BlockBytes); the synthetic array address space already
+// makes indices unique per file.
+type block struct {
+	idx        int64
+	stream     int64
+	dirty      bool
+	prefetched bool // fetched by readahead and not yet touched by demand
+	prev, next *block
+}
+
+// pfReq is one queued prefetch.
+type pfReq struct {
+	stream int64
+	idx    int64
+}
+
+// Cache is one I/O node's block cache.
+type Cache struct {
+	eng  *sim.Engine
+	name string
+	cfg  Config
+	be   Backend
+
+	capBlocks int64
+	blocks    map[int64]*block
+	head      *block // most recently used
+	tail      *block // least recently used
+
+	cls     *classifier
+	pending map[int64]*sim.Completion // in-flight fetches, by block index
+	pfQueue []pfReq
+	pfLive  bool
+	flLive  bool
+	down    bool
+
+	s Stats
+}
+
+// New creates a cache in front of backend be. The config is normalized
+// (zero fields take defaults).
+func New(eng *sim.Engine, name string, cfg Config, be Backend) *Cache {
+	cfg = cfg.Normalized(0)
+	capBlocks := cfg.CapacityBytes / cfg.BlockBytes
+	if capBlocks < 1 {
+		capBlocks = 1
+	}
+	return &Cache{
+		eng:       eng,
+		name:      name,
+		cfg:       cfg,
+		be:        be,
+		capBlocks: capBlocks,
+		blocks:    make(map[int64]*block),
+		cls:       newClassifier(),
+		pending:   make(map[int64]*sim.Completion),
+	}
+}
+
+// Config returns the normalized configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int { return len(c.blocks) }
+
+// DirtyLen returns the number of resident dirty blocks.
+func (c *Cache) DirtyLen() int {
+	n := 0
+	for _, b := range c.blocks {
+		if b.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns the accumulated counters plus the classifier's current
+// per-stream verdicts.
+func (c *Cache) Stats() Stats {
+	s := c.s
+	s.SeqStreams, s.StridedStreams, s.RandomStreams, s.UnknownStreams = c.cls.counts()
+	return s
+}
+
+// memTime charges node memory bandwidth for moving bytes to/from the cache.
+func (c *Cache) memTime(bytes int64) sim.Time {
+	return sim.Time(float64(bytes) / c.cfg.MemBWBytesPerS * float64(sim.Second))
+}
+
+// overlap returns how many bytes of request [addr, addr+n) fall in block idx.
+func (c *Cache) overlap(idx, addr, n int64) int64 {
+	bs := c.cfg.BlockBytes
+	lo, hi := idx*bs, (idx+1)*bs
+	if addr > lo {
+		lo = addr
+	}
+	if addr+n < hi {
+		hi = addr + n
+	}
+	return hi - lo
+}
+
+// Read serves a demand read of [addr, addr+n) on stream: resident blocks are
+// hits charged at memory speed, blocks with a fetch in flight are awaited,
+// and runs of absent blocks are fetched whole and block-aligned in one
+// coalesced array request each. A backend error (node died mid-run) aborts
+// the remainder and propagates to the PFS failover path.
+func (c *Cache) Read(p *sim.Process, stream, addr, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	bs := c.cfg.BlockBytes
+	last := (addr + n - 1) / bs
+	idx := addr / bs
+	for idx <= last {
+		if b := c.blocks[idx]; b != nil {
+			c.hit(p, b, c.overlap(idx, addr, n))
+			idx++
+			continue
+		}
+		if comp := c.pending[idx]; comp != nil {
+			// An identical fetch is in flight (prefetch or a collapsed
+			// concurrent demand miss): wait for it, then re-examine.
+			c.s.DelayedHits++
+			comp.Await(p)
+			continue
+		}
+		var err error
+		if idx, err = c.fetchRun(p, stream, idx, last, addr, n); err != nil {
+			return err
+		}
+	}
+	c.observe(p, stream, addr, n, true)
+	return nil
+}
+
+// fetchRun fetches the maximal run of absent blocks starting at idx (bounded
+// by last) in one array request, installs them, and returns the next block
+// index to examine.
+func (c *Cache) fetchRun(p *sim.Process, stream, idx, last, addr, n int64) (int64, error) {
+	bs := c.cfg.BlockBytes
+	runEnd := idx
+	for runEnd < last && c.blocks[runEnd+1] == nil && c.pending[runEnd+1] == nil {
+		runEnd++
+	}
+	comp := sim.NewCompletion(fmt.Sprintf("%s-fetch@%d", c.name, idx))
+	for j := idx; j <= runEnd; j++ {
+		c.pending[j] = comp
+	}
+	err := c.be.BlockIO(p, stream, idx*bs, (runEnd-idx+1)*bs, true)
+	owner := c.pending[idx] == comp // false if an outage already aborted us
+	if owner {
+		for j := idx; j <= runEnd; j++ {
+			delete(c.pending, j)
+		}
+	}
+	if err != nil {
+		if owner {
+			comp.Complete(p)
+		}
+		return idx, err
+	}
+	c.s.Fetches++
+	for j := idx; j <= runEnd; j++ {
+		c.s.Misses++
+		c.s.MissBytes += c.overlap(j, addr, n)
+		c.installBlock(p, stream, j, false, false)
+	}
+	if owner {
+		comp.Complete(p)
+	}
+	return runEnd + 1, nil
+}
+
+// Write absorbs a write of [addr, addr+n) on stream. With write-behind the
+// touched blocks are installed dirty at memory speed and the flush daemon
+// writes them back later; otherwise the range is written through
+// synchronously and installed clean.
+func (c *Cache) Write(p *sim.Process, stream, addr, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	bs := c.cfg.BlockBytes
+	first, last := addr/bs, (addr+n-1)/bs
+	if !c.cfg.WriteBehind {
+		if err := c.be.BlockIO(p, stream, addr, n, false); err != nil {
+			return err
+		}
+		for idx := first; idx <= last; idx++ {
+			c.s.WriteThrough++
+			c.installBlock(p, stream, idx, false, false)
+		}
+		c.observe(p, stream, addr, n, false)
+		return nil
+	}
+	p.Sleep(c.cfg.HitOverhead + c.memTime(n))
+	for idx := first; idx <= last; idx++ {
+		if b := c.blocks[idx]; b != nil {
+			if !b.dirty {
+				b.dirty = true
+				c.s.DirtyInstalls++
+			}
+			b.stream = stream
+			b.prefetched = false
+			c.moveFront(b)
+			continue
+		}
+		c.s.DirtyInstalls++
+		c.installBlock(p, stream, idx, true, false)
+	}
+	c.s.WriteBytes += n
+	c.observe(p, stream, addr, n, false)
+	c.ensureFlusher()
+	return nil
+}
+
+// Drain synchronously flushes the stream's dirty blocks (Handle.Flush /
+// FORFLUSH). On a down node there is nothing left to write — the outage
+// already disposed of dirty state per policy.
+func (c *Cache) Drain(p *sim.Process, stream int64) error {
+	if c.down {
+		return nil
+	}
+	return c.flushDirty(p, stream, true)
+}
+
+// OnFail is the owning node's outage hook, called while the node can still
+// service requests. Per policy it drains or discards dirty blocks, then
+// aborts every in-flight fetch so no waiter parks forever on a dead node.
+func (c *Cache) OnFail(p *sim.Process) {
+	if c.down {
+		return
+	}
+	if c.cfg.FlushOnFail && c.anyDirty() {
+		c.s.OutageDrains++
+		_ = c.flushDirty(p, 0, false)
+	}
+	c.down = true
+	c.discardDirty()
+
+	idxs := make([]int64, 0, len(c.pending))
+	for idx := range c.pending {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	fired := make(map[*sim.Completion]bool)
+	for _, idx := range idxs {
+		comp := c.pending[idx]
+		delete(c.pending, idx)
+		if !fired[comp] {
+			fired[comp] = true
+			c.s.PrefetchAborted++
+			comp.Complete(p)
+		}
+	}
+	c.pfQueue = nil
+}
+
+// OnRestore is the owning node's repair hook. Clean resident blocks remain
+// valid; write-behind and prefetch resume on demand.
+func (c *Cache) OnRestore(p *sim.Process) { c.down = false }
+
+// hit serves segBytes of a request from resident block b.
+func (c *Cache) hit(p *sim.Process, b *block, segBytes int64) {
+	c.s.Hits++
+	c.s.HitBytes += segBytes
+	if b.prefetched {
+		b.prefetched = false
+		c.s.PrefetchUsed++
+	}
+	c.moveFront(b)
+	p.Sleep(c.cfg.HitOverhead + c.memTime(segBytes))
+}
+
+// installBlock makes room and inserts a block, tolerating a concurrent
+// install of the same index during the eviction flush's simulated time.
+func (c *Cache) installBlock(p *sim.Process, stream, idx int64, dirty, prefetched bool) {
+	if b := c.blocks[idx]; b != nil {
+		if dirty && !b.dirty {
+			b.dirty = true
+		}
+		c.moveFront(b)
+		return
+	}
+	c.ensureRoom(p)
+	b := &block{idx: idx, stream: stream, dirty: dirty, prefetched: prefetched}
+	c.blocks[idx] = b
+	c.pushFront(b)
+}
+
+// ensureRoom evicts LRU blocks until a new one fits. A dirty victim forces a
+// synchronous flush of the contiguous dirty run containing it (ascending
+// block order — the deterministic flush ordering guarantee).
+func (c *Cache) ensureRoom(p *sim.Process) {
+	for int64(len(c.blocks)) >= c.capBlocks {
+		v := c.tail
+		if v == nil {
+			return
+		}
+		c.remove(v)
+		c.s.Evictions++
+		if v.prefetched {
+			c.s.PrefetchWasted++
+		}
+		if v.dirty {
+			c.s.DirtyEvictions++
+			c.flushAround(p, v)
+		}
+	}
+}
+
+// flushAround writes back the evicted dirty block v together with the
+// contiguous dirty same-stream run still resident around it, as one array
+// write in ascending block order.
+func (c *Cache) flushAround(p *sim.Process, v *block) {
+	lo, hi := v.idx, v.idx
+	for {
+		b := c.blocks[lo-1]
+		if b == nil || !b.dirty || b.stream != v.stream {
+			break
+		}
+		lo--
+	}
+	for {
+		b := c.blocks[hi+1]
+		if b == nil || !b.dirty || b.stream != v.stream {
+			break
+		}
+		hi++
+	}
+	for i := lo; i <= hi; i++ {
+		if b := c.blocks[i]; b != nil {
+			b.dirty = false
+		}
+	}
+	_ = c.writeRun(p, v.stream, lo, hi)
+}
+
+// flushDirty writes back dirty blocks — all of them, or one stream's — as
+// coalesced contiguous runs in ascending block order, rescanning after each
+// write so blocks dirtied during a flush are picked up. A backend error
+// (node down) stops the pass; the failed run is counted lost.
+func (c *Cache) flushDirty(p *sim.Process, stream int64, filtered bool) error {
+	for {
+		lo, ok := c.firstDirty(stream, filtered)
+		if !ok {
+			return nil
+		}
+		s := c.blocks[lo].stream
+		hi := lo
+		for {
+			b := c.blocks[hi+1]
+			if b == nil || !b.dirty || b.stream != s {
+				break
+			}
+			hi++
+		}
+		for i := lo; i <= hi; i++ {
+			c.blocks[i].dirty = false
+		}
+		if err := c.writeRun(p, s, lo, hi); err != nil {
+			return err
+		}
+	}
+}
+
+// firstDirty returns the smallest dirty block index (optionally restricted
+// to one stream). Map iteration order does not matter: the minimum is
+// order-independent.
+func (c *Cache) firstDirty(stream int64, filtered bool) (int64, bool) {
+	var best int64
+	found := false
+	for idx, b := range c.blocks {
+		if !b.dirty || (filtered && b.stream != stream) {
+			continue
+		}
+		if !found || idx < best {
+			best, found = idx, true
+		}
+	}
+	return best, found
+}
+
+func (c *Cache) anyDirty() bool {
+	for _, b := range c.blocks {
+		if b.dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// writeRun writes blocks [lo, hi] (already marked clean) back as one array
+// request; on failure they are counted lost (the node died under us).
+func (c *Cache) writeRun(p *sim.Process, stream, lo, hi int64) error {
+	bs := c.cfg.BlockBytes
+	nb := hi - lo + 1
+	if err := c.be.BlockIO(p, stream, lo*bs, nb*bs, false); err != nil {
+		c.s.LostDirtyBlocks += nb
+		c.s.LostDirtyBytes += nb * bs
+		return err
+	}
+	c.s.Flushes++
+	c.s.FlushedBlocks += nb
+	c.s.FlushedBytes += nb * bs
+	return nil
+}
+
+// discardDirty drops all dirty blocks (outage without FlushOnFail), in
+// ascending block order, counting them lost.
+func (c *Cache) discardDirty() {
+	var idxs []int64
+	for idx, b := range c.blocks {
+		if b.dirty {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		b := c.blocks[idx]
+		c.remove(b)
+		c.s.LostDirtyBlocks++
+		c.s.LostDirtyBytes += c.cfg.BlockBytes
+	}
+}
+
+// ensureFlusher spawns the write-behind daemon if dirty blocks exist and it
+// is not already running. The daemon exits when the cache is clean (or the
+// node goes down), so an idle simulation never holds a parked process — the
+// engine's drain-time deadlock check stays meaningful.
+func (c *Cache) ensureFlusher() {
+	if c.flLive || c.down || !c.cfg.WriteBehind {
+		return
+	}
+	c.flLive = true
+	c.eng.Spawn(c.name+"-flush", func(p *sim.Process) {
+		defer func() { c.flLive = false }()
+		for {
+			p.Sleep(c.cfg.FlushDelay)
+			if c.down {
+				return
+			}
+			if err := c.flushDirty(p, 0, false); err != nil {
+				return
+			}
+			if !c.anyDirty() {
+				return
+			}
+		}
+	})
+}
+
+// observe feeds the classifier and, on reads, queues the predicted blocks
+// for the prefetch daemon.
+func (c *Cache) observe(p *sim.Process, stream, addr, n int64, read bool) {
+	st := c.cls.observe(stream, addr, n)
+	if !read || !c.cfg.Prefetch || c.down {
+		return
+	}
+	for _, idx := range c.cls.predict(st, n, c.cfg.BlockBytes, c.cfg.PrefetchDepth) {
+		if idx < 0 || c.blocks[idx] != nil || c.pending[idx] != nil {
+			continue
+		}
+		c.pending[idx] = sim.NewCompletion(fmt.Sprintf("%s-pf@%d", c.name, idx))
+		c.pfQueue = append(c.pfQueue, pfReq{stream: stream, idx: idx})
+		c.s.PrefetchIssued++
+	}
+	c.ensurePrefetcher()
+}
+
+// ensurePrefetcher spawns the readahead daemon if work is queued. Like the
+// flusher it is spawn-on-demand and exits when its queue drains.
+func (c *Cache) ensurePrefetcher() {
+	if c.pfLive || len(c.pfQueue) == 0 {
+		return
+	}
+	c.pfLive = true
+	c.eng.Spawn(c.name+"-prefetch", func(p *sim.Process) {
+		defer func() { c.pfLive = false }()
+		for len(c.pfQueue) > 0 {
+			req := c.pfQueue[0]
+			c.pfQueue = c.pfQueue[1:]
+			comp := c.pending[req.idx]
+			if comp == nil {
+				continue // aborted by an outage
+			}
+			if c.blocks[req.idx] != nil {
+				// Demand traffic brought the block in first.
+				delete(c.pending, req.idx)
+				comp.Complete(p)
+				continue
+			}
+			err := c.be.BlockIO(p, req.stream, req.idx*c.cfg.BlockBytes, c.cfg.BlockBytes, true)
+			if c.pending[req.idx] != comp {
+				continue // an outage fired the completion while we slept
+			}
+			delete(c.pending, req.idx)
+			if err != nil {
+				c.s.PrefetchAborted++
+				comp.Complete(p)
+				continue
+			}
+			c.installBlock(p, req.stream, req.idx, false, true)
+			comp.Complete(p)
+		}
+	})
+}
+
+// LRU list management; head is most recently used.
+
+func (c *Cache) pushFront(b *block) {
+	b.prev, b.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = b
+	}
+	c.head = b
+	if c.tail == nil {
+		c.tail = b
+	}
+}
+
+func (c *Cache) remove(b *block) {
+	delete(c.blocks, b.idx)
+	c.unlink(b)
+}
+
+func (c *Cache) unlink(b *block) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		c.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		c.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+func (c *Cache) moveFront(b *block) {
+	if c.head == b {
+		return
+	}
+	c.unlink(b)
+	c.pushFront(b)
+}

@@ -1,0 +1,413 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+const bs = 4096 // test block size
+
+var errDown = errors.New("backend down")
+
+// fakeBackend records every array-level transfer and charges a fixed cost.
+type fakeBackend struct {
+	cost sim.Time
+	down bool
+	log  []string
+}
+
+func (f *fakeBackend) BlockIO(p *sim.Process, stream, addr, bytes int64, read bool) error {
+	if f.down {
+		return errDown
+	}
+	op := "w"
+	if read {
+		op = "r"
+	}
+	f.log = append(f.log, fmt.Sprintf("%s s%d a%d n%d", op, stream, addr, bytes))
+	p.Sleep(f.cost)
+	return nil
+}
+
+func testConfig() Config {
+	return Config{
+		Enabled:       true,
+		CapacityBytes: 4 * bs,
+		BlockBytes:    bs,
+		WriteBehind:   true,
+		FlushDelay:    10 * sim.Millisecond,
+		Prefetch:      true,
+		PrefetchDepth: 4,
+	}
+}
+
+func newTest(cfg Config) (*sim.Engine, *fakeBackend, *Cache) {
+	eng := sim.NewEngine()
+	be := &fakeBackend{cost: 5 * sim.Millisecond}
+	return eng, be, New(eng, "test", cfg, be)
+}
+
+func TestReadMissFetchesWholeBlockThenHits(t *testing.T) {
+	eng, be, c := newTest(testConfig())
+	eng.Spawn("r", func(p *sim.Process) {
+		if err := c.Read(p, 1, 0, 2048); err != nil {
+			t.Error(err)
+		}
+		if err := c.Read(p, 1, 2048, 2048); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(be.log) != 1 || be.log[0] != fmt.Sprintf("r s1 a0 n%d", bs) {
+		t.Fatalf("backend log %v, want one whole-block fetch", be.log)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 || s.Fetches != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.MissBytes != 2048 || s.HitBytes != 2048 {
+		t.Fatalf("byte accounting %+v", s)
+	}
+}
+
+func TestMissRunCoalescesIntoOneFetch(t *testing.T) {
+	cfg := testConfig()
+	cfg.CapacityBytes = 16 * bs
+	eng, be, c := newTest(cfg)
+	eng.Spawn("r", func(p *sim.Process) {
+		if err := c.Read(p, 1, 0, 4*bs); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(be.log) != 1 || be.log[0] != fmt.Sprintf("r s1 a0 n%d", 4*bs) {
+		t.Fatalf("backend log %v, want one 4-block fetch", be.log)
+	}
+	if s := c.Stats(); s.Misses != 4 || s.Fetches != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSequentialStreamPrefetches(t *testing.T) {
+	cfg := testConfig()
+	cfg.CapacityBytes = 64 * bs
+	eng, _, c := newTest(cfg)
+	eng.Spawn("r", func(p *sim.Process) {
+		for off := int64(0); off < 32*bs; off += 1024 {
+			if err := c.Read(p, 1, off, 1024); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.PrefetchIssued == 0 || s.PrefetchUsed == 0 {
+		t.Fatalf("no prefetch activity: %+v", s)
+	}
+	if s.PrefetchAccuracy() < 0.9 {
+		t.Fatalf("sequential prefetch accuracy %.2f, want >= 0.9", s.PrefetchAccuracy())
+	}
+	if s.SeqStreams != 1 {
+		t.Fatalf("stream verdicts %+v", s)
+	}
+}
+
+func TestRandomStreamDoesNotPrefetch(t *testing.T) {
+	cfg := testConfig()
+	cfg.CapacityBytes = 8 * bs
+	eng, _, c := newTest(cfg)
+	rng := sim.NewRNG(7)
+	eng.Spawn("r", func(p *sim.Process) {
+		for i := 0; i < 64; i++ {
+			off := rng.Int63n(1024) * bs
+			if err := c.Read(p, 1, off, bs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.PrefetchIssued != 0 {
+		t.Fatalf("random stream prefetched %d blocks", s.PrefetchIssued)
+	}
+	if s.RandomStreams != 1 {
+		t.Fatalf("stream verdicts %+v", s)
+	}
+}
+
+func TestWriteBehindAbsorbsAndFlushesCoalesced(t *testing.T) {
+	cfg := testConfig()
+	cfg.CapacityBytes = 16 * bs
+	eng, be, c := newTest(cfg)
+	var writeTime sim.Time
+	eng.Spawn("w", func(p *sim.Process) {
+		start := p.Now()
+		for off := int64(0); off < 4*bs; off += 1024 {
+			if err := c.Write(p, 1, off, 1024); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		writeTime = p.Now() - start
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if writeTime >= be.cost {
+		t.Fatalf("write-behind writes took %v, want memory-speed", writeTime)
+	}
+	// All four dirty blocks coalesced into one flush I/O.
+	var writes []string
+	for _, l := range be.log {
+		if strings.HasPrefix(l, "w") {
+			writes = append(writes, l)
+		}
+	}
+	if len(writes) != 1 || writes[0] != fmt.Sprintf("w s1 a0 n%d", 4*bs) {
+		t.Fatalf("flush writes %v, want one coalesced run", writes)
+	}
+	s := c.Stats()
+	if s.Flushes != 1 || s.FlushedBlocks != 4 {
+		t.Fatalf("flush stats %+v", s)
+	}
+	if s.Coalescing() != 4 {
+		t.Fatalf("coalescing %.1f, want 4.0", s.Coalescing())
+	}
+	if c.DirtyLen() != 0 {
+		t.Fatalf("%d dirty blocks left after flush", c.DirtyLen())
+	}
+}
+
+func TestDirtyEvictionFlushesContiguousRunAscending(t *testing.T) {
+	cfg := testConfig()       // capacity 4 blocks
+	cfg.FlushDelay = sim.Hour // keep the daemon out of the way
+	eng, be, c := newTest(cfg)
+	eng.Spawn("w", func(p *sim.Process) {
+		for i := int64(0); i < 5; i++ { // fifth write evicts block 0
+			if err := c.Write(p, 1, i*bs, bs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		// Drain the rest so the eternal flush daemon exits cleanly.
+		if err := c.Drain(p, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.DirtyEvictions != 1 {
+		t.Fatalf("stats %+v, want one dirty eviction", s)
+	}
+	// The eviction flush covers the whole contiguous dirty run 0..3 in one
+	// ascending write.
+	if be.log[0] != fmt.Sprintf("w s1 a0 n%d", 4*bs) {
+		t.Fatalf("eviction flush %v", be.log)
+	}
+}
+
+func TestOutageDiscardsDirtyAndCountsLost(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlushDelay = sim.Hour
+	eng, be, c := newTest(cfg)
+	eng.Spawn("w", func(p *sim.Process) {
+		for i := int64(0); i < 3; i++ {
+			if err := c.Write(p, 1, i*bs, bs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		be.down = true
+		c.OnFail(p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.LostDirtyBlocks != 3 || s.LostDirtyBytes != 3*bs {
+		t.Fatalf("lost accounting %+v", s)
+	}
+	if s.Flushes != 0 {
+		t.Fatalf("crash policy flushed: %+v", s)
+	}
+	if c.DirtyLen() != 0 {
+		t.Fatal("dirty blocks survived the outage")
+	}
+}
+
+func TestFlushOnFailDrainsBeforeOutage(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlushDelay = sim.Hour
+	cfg.FlushOnFail = true
+	eng, be, c := newTest(cfg)
+	eng.Spawn("w", func(p *sim.Process) {
+		for i := int64(0); i < 3; i++ {
+			if err := c.Write(p, 1, i*bs, bs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		c.OnFail(p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.OutageDrains != 1 || s.FlushedBlocks != 3 || s.LostDirtyBlocks != 0 {
+		t.Fatalf("graceful drain stats %+v", s)
+	}
+	if be.log[len(be.log)-1] != fmt.Sprintf("w s1 a0 n%d", 3*bs) {
+		t.Fatalf("drain writes %v", be.log)
+	}
+}
+
+func TestOutageAbortsInFlightFetchesWithoutDeadlock(t *testing.T) {
+	cfg := testConfig()
+	cfg.CapacityBytes = 64 * bs
+	eng, be, c := newTest(cfg)
+	var readErr error
+	eng.Spawn("reader", func(p *sim.Process) {
+		// Warm the classifier sequential so prefetches get queued.
+		for off := int64(0); off < 6*bs; off += bs {
+			if err := c.Read(p, 1, off, bs); err != nil {
+				readErr = err
+				return
+			}
+		}
+	})
+	eng.SpawnAt("injector", 12*sim.Millisecond, func(p *sim.Process) {
+		be.down = true
+		c.OnFail(p)
+	})
+	// Run must terminate: every pending completion fired, daemons exited.
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if readErr == nil {
+		t.Fatal("reader survived the outage unscathed")
+	}
+	if len(c.pending) != 0 || len(c.pfQueue) != 0 {
+		t.Fatalf("outage left %d pending, %d queued", len(c.pending), len(c.pfQueue))
+	}
+}
+
+func TestWriteThroughInstallsClean(t *testing.T) {
+	cfg := testConfig()
+	cfg.WriteBehind = false
+	eng, be, c := newTest(cfg)
+	eng.Spawn("w", func(p *sim.Process) {
+		if err := c.Write(p, 1, 0, 2*bs); err != nil {
+			t.Error(err)
+		}
+		if err := c.Read(p, 1, 0, bs); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(be.log) != 1 || be.log[0] != fmt.Sprintf("w s1 a0 n%d", 2*bs) {
+		t.Fatalf("backend log %v, want one synchronous write", be.log)
+	}
+	s := c.Stats()
+	if s.WriteThrough != 2 || s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	if c.DirtyLen() != 0 {
+		t.Fatal("write-through left dirty blocks")
+	}
+}
+
+func TestConcurrentMissesCollapseIntoOneFetch(t *testing.T) {
+	cfg := testConfig()
+	eng, be, c := newTest(cfg)
+	for i := 0; i < 3; i++ {
+		eng.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Process) {
+			if err := c.Read(p, 1, 0, bs); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(be.log) != 1 {
+		t.Fatalf("backend log %v, want the misses collapsed into one fetch", be.log)
+	}
+	s := c.Stats()
+	if s.DelayedHits != 2 || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// runDeterminismScenario drives several concurrent writers under capacity
+// pressure (forcing concurrent dirty evictions) and returns the backend's
+// full transfer log plus the final stats.
+func runDeterminismScenario(t *testing.T) ([]string, Stats) {
+	t.Helper()
+	cfg := testConfig() // 4-block capacity: heavy eviction traffic
+	eng, be, c := newTest(cfg)
+	for w := 0; w < 4; w++ {
+		w := w
+		eng.Spawn(fmt.Sprintf("w%d", w), func(p *sim.Process) {
+			stream := int64(w + 1)
+			base := int64(w) << 20
+			for i := int64(0); i < 12; i++ {
+				if err := c.Write(p, stream, base+i*bs, bs); err != nil {
+					t.Error(err)
+					return
+				}
+				p.Sleep(sim.Millisecond)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return be.log, c.Stats()
+}
+
+func TestFlushOrderingDeterministicUnderConcurrentEvictions(t *testing.T) {
+	log1, s1 := runDeterminismScenario(t)
+	log2, s2 := runDeterminismScenario(t)
+	if len(log1) == 0 {
+		t.Fatal("scenario produced no backend traffic")
+	}
+	if strings.Join(log1, "\n") != strings.Join(log2, "\n") {
+		t.Fatalf("two identical runs diverged:\n%v\nvs\n%v", log1, log2)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestAggregateSums(t *testing.T) {
+	a := Stats{Node: 0, Hits: 3, Misses: 1, Flushes: 2, FlushedBlocks: 6}
+	b := Stats{Node: 1, Hits: 1, Misses: 1, PrefetchIssued: 5}
+	tot := Aggregate([]Stats{a, b})
+	if tot.Node != -1 || tot.Hits != 4 || tot.Misses != 2 || tot.Flushes != 2 ||
+		tot.FlushedBlocks != 6 || tot.PrefetchIssued != 5 {
+		t.Fatalf("aggregate %+v", tot)
+	}
+	if tot.HitRatio() != 4.0/6.0 {
+		t.Fatalf("hit ratio %f", tot.HitRatio())
+	}
+	if tot.Coalescing() != 3 {
+		t.Fatalf("coalescing %f", tot.Coalescing())
+	}
+}

@@ -1,0 +1,150 @@
+package cache
+
+// Pattern is an online per-stream access-pattern verdict. The thresholds
+// mirror the offline classifier in internal/analysis/patterns.go (and the
+// PPFS client classifier): a stream is sequential when at least 60% of its
+// transitions continue exactly where the previous access ended, strided
+// when at least 50% repeat a fixed non-sequential stride, random otherwise.
+// Fewer than four accesses is too little evidence to act on.
+type Pattern int
+
+const (
+	PatternUnknown Pattern = iota
+	PatternSequential
+	PatternStrided
+	PatternRandom
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternSequential:
+		return "sequential"
+	case PatternStrided:
+		return "strided"
+	case PatternRandom:
+		return "random"
+	}
+	return "unknown"
+}
+
+const (
+	classifyMinAccesses = 4
+	seqThreshold        = 0.6
+	strideThreshold     = 0.5
+)
+
+// streamState is the classifier's per-stream memory.
+type streamState struct {
+	lastStart int64
+	lastEnd   int64
+	stride    int64
+	accesses  int64
+	seq       int64 // transitions continuing at lastEnd
+	strided   int64 // non-sequential transitions repeating the stride
+	seqRun    int64 // current consecutive sequential transitions
+}
+
+func (st *streamState) pattern() Pattern {
+	if st.accesses < classifyMinAccesses {
+		return PatternUnknown
+	}
+	trans := float64(st.accesses - 1)
+	if float64(st.seq)/trans >= seqThreshold {
+		return PatternSequential
+	}
+	if float64(st.strided)/trans >= strideThreshold {
+		return PatternStrided
+	}
+	return PatternRandom
+}
+
+// classifier tracks every stream (file identity) seen by one cache.
+type classifier struct {
+	streams map[int64]*streamState
+}
+
+func newClassifier() *classifier {
+	return &classifier{streams: make(map[int64]*streamState)}
+}
+
+// observe folds one access into the stream's state and returns it.
+func (cl *classifier) observe(stream, addr, n int64) *streamState {
+	st := cl.streams[stream]
+	if st == nil {
+		st = &streamState{}
+		cl.streams[stream] = st
+	}
+	if st.accesses > 0 {
+		switch {
+		case addr == st.lastEnd:
+			st.seq++
+			st.seqRun++
+		default:
+			stride := addr - st.lastStart
+			if stride == st.stride {
+				st.strided++
+			}
+			st.stride = stride
+			st.seqRun = 0
+		}
+	}
+	st.accesses++
+	st.lastStart = addr
+	st.lastEnd = addr + n
+	return st
+}
+
+// predict returns the block indices worth prefetching after an access at
+// [addr, addr+n) on the given stream, most-confident first. Aggressiveness
+// follows the verdict: a sequential stream ramps its readahead with the
+// length of the current sequential run (up to depth), a strided stream
+// fetches the blocks covering the one predicted next request, and random
+// or unclassified streams fetch nothing.
+func (cl *classifier) predict(st *streamState, n, blockBytes int64, depth int) []int64 {
+	switch st.pattern() {
+	case PatternSequential:
+		d := int64(depth)
+		if st.seqRun < d {
+			d = st.seqRun
+		}
+		if d <= 0 {
+			return nil
+		}
+		first := (st.lastEnd-1)/blockBytes + 1
+		out := make([]int64, 0, d)
+		for i := int64(0); i < d; i++ {
+			out = append(out, first+i)
+		}
+		return out
+	case PatternStrided:
+		next := st.lastStart + st.stride
+		if next < 0 {
+			return nil
+		}
+		first := next / blockBytes
+		last := (next + n - 1) / blockBytes
+		out := make([]int64, 0, last-first+1)
+		for idx := first; idx <= last; idx++ {
+			out = append(out, idx)
+		}
+		return out
+	}
+	return nil
+}
+
+// counts tallies the per-stream verdicts (for Stats).
+func (cl *classifier) counts() (seq, strided, random, unknown int64) {
+	for _, st := range cl.streams {
+		switch st.pattern() {
+		case PatternSequential:
+			seq++
+		case PatternStrided:
+			strided++
+		case PatternRandom:
+			random++
+		default:
+			unknown++
+		}
+	}
+	return
+}

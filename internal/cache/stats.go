@@ -1,0 +1,103 @@
+package cache
+
+// Stats are one cache's accumulated counters. Aggregate sums them across
+// nodes; Node is the owning I/O node (-1 for an aggregate).
+type Stats struct {
+	Node int
+
+	// Demand read traffic, counted per block touched.
+	Hits      int64 // block resident on arrival
+	Misses    int64 // block fetched from the array on demand
+	HitBytes  int64 // request bytes served from resident blocks
+	MissBytes int64 // request bytes that waited for an array fetch
+	Fetches   int64 // demand fetch I/Os issued (coalesced miss runs)
+
+	// Write-behind traffic.
+	DirtyInstalls int64 // blocks dirtied by write-behind installs
+	WriteBytes    int64 // request bytes absorbed by write-behind
+	WriteThrough  int64 // blocks written synchronously (WriteBehind off)
+	Flushes       int64 // flush I/Os issued (each a coalesced dirty run)
+	FlushedBlocks int64 // dirty blocks written back
+	FlushedBytes  int64
+
+	// Eviction.
+	Evictions      int64 // blocks evicted for capacity
+	DirtyEvictions int64 // evictions that forced a synchronous flush
+
+	// Prefetch.
+	PrefetchIssued  int64 // blocks queued for readahead
+	PrefetchUsed    int64 // prefetched blocks later hit by demand reads
+	DelayedHits     int64 // demand reads that waited on an in-flight fetch
+	PrefetchWasted  int64 // prefetched blocks evicted unused
+	PrefetchAborted int64 // in-flight fetches abandoned (node down, error)
+
+	// Fault interaction.
+	LostDirtyBlocks int64 // dirty blocks discarded by an outage
+	LostDirtyBytes  int64
+	OutageDrains    int64 // graceful FlushOnFail drains performed
+
+	// Stream classification at last report (per-stream verdicts).
+	SeqStreams     int64
+	StridedStreams int64
+	RandomStreams  int64
+	UnknownStreams int64
+}
+
+// HitRatio is the fraction of demand block touches served from the cache.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// PrefetchAccuracy is the fraction of completed prefetches that were used
+// before eviction.
+func (s Stats) PrefetchAccuracy() float64 {
+	if s.PrefetchUsed+s.PrefetchWasted == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUsed) / float64(s.PrefetchUsed+s.PrefetchWasted)
+}
+
+// Coalescing is the mean number of dirty blocks written back per flush I/O
+// — the write-behind coalescing factor.
+func (s Stats) Coalescing() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.FlushedBlocks) / float64(s.Flushes)
+}
+
+// Aggregate sums per-node stats into one report row with Node = -1.
+func Aggregate(per []Stats) Stats {
+	t := Stats{Node: -1}
+	for _, s := range per {
+		t.Hits += s.Hits
+		t.Misses += s.Misses
+		t.HitBytes += s.HitBytes
+		t.MissBytes += s.MissBytes
+		t.Fetches += s.Fetches
+		t.DirtyInstalls += s.DirtyInstalls
+		t.WriteBytes += s.WriteBytes
+		t.WriteThrough += s.WriteThrough
+		t.Flushes += s.Flushes
+		t.FlushedBlocks += s.FlushedBlocks
+		t.FlushedBytes += s.FlushedBytes
+		t.Evictions += s.Evictions
+		t.DirtyEvictions += s.DirtyEvictions
+		t.PrefetchIssued += s.PrefetchIssued
+		t.PrefetchUsed += s.PrefetchUsed
+		t.DelayedHits += s.DelayedHits
+		t.PrefetchWasted += s.PrefetchWasted
+		t.PrefetchAborted += s.PrefetchAborted
+		t.LostDirtyBlocks += s.LostDirtyBlocks
+		t.LostDirtyBytes += s.LostDirtyBytes
+		t.OutageDrains += s.OutageDrains
+		t.SeqStreams += s.SeqStreams
+		t.StridedStreams += s.StridedStreams
+		t.RandomStreams += s.RandomStreams
+		t.UnknownStreams += s.UnknownStreams
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cache"
+)
+
+func TestCacheSweepSmallShowsReadReduction(t *testing.T) {
+	rows, err := CacheSweep(true, cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	byName := map[string]analysis.CacheComparison{}
+	for _, r := range rows {
+		t.Logf("%-8s ops=%d base=%v cached=%v reduction=%.1f%% hit=%.1f%% pf=%.2f coalesce=%.1f",
+			r.Name, r.Ops, r.BaseMean, r.CachedMean, 100*r.Reduction(),
+			100*r.HitRatio, r.PrefetchAccuracy, r.Coalescing)
+		byName[r.Name] = r
+	}
+	if r := byName["escat"]; r.Reduction() <= 0 {
+		t.Errorf("escat: cache did not reduce mean read latency (%.1f%%)", 100*r.Reduction())
+	}
+	if r := byName["htf"]; r.Reduction() <= 0 {
+		t.Errorf("htf: cache did not reduce mean read latency (%.1f%%)", 100*r.Reduction())
+	}
+}
+
+func TestModeCacheSweepRandomControlShowsNoBenefit(t *testing.T) {
+	rows, err := ModeCacheSweep(cache.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 6 modes + random control", len(rows))
+	}
+	var random analysis.CacheComparison
+	for _, r := range rows {
+		t.Logf("%-12s op=%-6s ops=%d base=%v cached=%v reduction=%.1f%% hit=%.1f%%",
+			r.Name, r.Op, r.Ops, r.BaseMean, r.CachedMean, 100*r.Reduction(), 100*r.HitRatio)
+		if r.Name == "random-read" {
+			random = r
+		}
+	}
+	if random.Name == "" {
+		t.Fatal("no random-read control row")
+	}
+	if random.HitRatio > 0.05 {
+		t.Errorf("random control hit ratio %.1f%%, want ~0", 100*random.HitRatio)
+	}
+	if red := random.Reduction(); red > 0.05 || red < -0.05 {
+		t.Errorf("random control latency moved %.1f%%, want no significant change", 100*red)
+	}
+}
+
+func TestCachedRunDeterministic(t *testing.T) {
+	run := func() string {
+		s := SmallStudy(ESCAT)
+		s.Machine.PFS.Cache = cache.DefaultConfig()
+		r, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cache == nil {
+			t.Fatal("cached study produced no cache report")
+		}
+		return analysis.RenderCacheReport(r.Cache) + r.Summary.Render("summary") +
+			r.Wall.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical cached runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}

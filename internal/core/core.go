@@ -123,6 +123,10 @@ type Report struct {
 	// plan); Failover the PFS failover counters.
 	Incidents []fault.Incident
 	Failover  pfs.FailoverStats
+
+	// Cache is the I/O-node cache effectiveness report; nil when the
+	// study ran without caching.
+	Cache *analysis.CacheReport
 }
 
 // appErr lets Run surface failures collected inside node programs.
@@ -216,6 +220,7 @@ func (rt *runtime) report(s Study) *Report {
 		st := rt.layer.Stats()
 		r.PolicyStats = &st
 	}
+	r.Cache = analysis.BuildCacheReport(rt.m.PFS.CacheStats())
 	return r
 }
 

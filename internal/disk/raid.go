@@ -9,6 +9,12 @@
 // are what shaped the paper's findings: small non-sequential requests are
 // dominated by positioning and overhead, while large sequential requests
 // approach array bandwidth — the "impedance mismatch" §8 discusses.
+//
+// Per-stream sequential detection (Service's stream/addr arguments) is relied
+// on by the layers above: ionode.BlockIO passes application streams through
+// unchanged, and the internal/cache layer deliberately issues block-aligned
+// fetches and flushes as single contiguous ascending runs per stream, so a
+// cached workload looks *more* sequential to the array, never less.
 package disk
 
 import (

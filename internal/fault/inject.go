@@ -75,13 +75,41 @@ func (inj *Injector) runOutage(p *sim.Process, ev Event) {
 	n := inj.nodes[ev.Node]
 	i := inj.begin(ev, p.Now())
 	inj.downCount[ev.Node]++
+	lost0, drains0 := cacheOutageCounters(n)
 	n.Fail(p)
+	note := cacheOutageNote(n, lost0, drains0)
 	p.Sleep(ev.Duration)
 	inj.downCount[ev.Node]--
 	if inj.downCount[ev.Node] == 0 {
 		n.Restore(p)
 	}
-	inj.close(i, p.Now(), "")
+	inj.close(i, p.Now(), note)
+}
+
+// cacheOutageCounters snapshots the node cache's outage counters (zero
+// without a cache).
+func cacheOutageCounters(n *ionode.Node) (lost, drains int64) {
+	if s, ok := n.CacheStats(); ok {
+		return s.LostDirtyBlocks, s.OutageDrains
+	}
+	return 0, 0
+}
+
+// cacheOutageNote describes what the outage did to the node cache's dirty
+// blocks — data lost under the write-behind crash policy is invisible in
+// latency terms, so the incident timeline records it explicitly.
+func cacheOutageNote(n *ionode.Node, lost0, drains0 int64) string {
+	s, ok := n.CacheStats()
+	if !ok {
+		return ""
+	}
+	if lost := s.LostDirtyBlocks - lost0; lost > 0 {
+		return fmt.Sprintf("%d dirty cache blocks lost", lost)
+	}
+	if s.OutageDrains > drains0 {
+		return "dirty cache drained before outage"
+	}
+	return ""
 }
 
 // runStorm raises the node's latency factor for the event duration.

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/disk"
 	"repro/internal/sim"
 )
@@ -29,6 +30,7 @@ type Node struct {
 	id    int
 	queue *sim.Resource
 	array *disk.Array
+	cache *cache.Cache // nil when caching is disabled
 
 	down      bool
 	latency   float64 // service-time multiplier; 0 or 1 = nominal
@@ -62,12 +64,48 @@ func (n *Node) Array() *disk.Array { return n.array }
 // contend with foreground requests).
 func (n *Node) Queue() *sim.Resource { return n.queue }
 
+// EnableCache attaches a block cache between the node's queue and its
+// array: demand hits bypass the queue entirely, misses and write-backs go
+// through BlockIO. Call before the simulation starts issuing requests.
+func (n *Node) EnableCache(eng *sim.Engine, cfg cache.Config) {
+	n.cache = cache.New(eng, fmt.Sprintf("ion%d-cache", n.id), cfg, n)
+}
+
+// Cache returns the node's cache, or nil when caching is disabled.
+func (n *Node) Cache() *cache.Cache { return n.cache }
+
+// CacheStats returns the node's cache counters; ok is false when caching is
+// disabled.
+func (n *Node) CacheStats() (cache.Stats, bool) {
+	if n.cache == nil {
+		return cache.Stats{}, false
+	}
+	s := n.cache.Stats()
+	s.Node = n.id
+	return s, true
+}
+
+// Drain synchronously flushes the cache's dirty blocks for one stream (the
+// FORFLUSH path). A no-op without a cache.
+func (n *Node) Drain(p *sim.Process, stream int64) error {
+	if n.cache == nil {
+		return nil
+	}
+	return n.cache.Drain(p, stream)
+}
+
 // Fail takes the node out of service at the current instant: queued requests
 // are ejected with ErrDown and new requests are refused until Restore. The
 // request in service, if any, completes (its data was already in flight).
+// With a cache attached, its outage policy runs first — while the node can
+// still reach the array — so FlushOnFail drains charge the failing instant
+// and lost dirty blocks are accounted.
 func (n *Node) Fail(p *sim.Process) {
 	if n.down {
 		return
+	}
+	if n.cache != nil {
+		n.cache.OnFail(p)
 	}
 	n.down = true
 	n.failures++
@@ -83,6 +121,9 @@ func (n *Node) Restore(p *sim.Process) {
 	n.down = false
 	n.downTime += p.Now() - n.downSince
 	n.queue.Repair()
+	if n.cache != nil {
+		n.cache.OnRestore(p)
+	}
 }
 
 // Down reports whether the node is out of service.
@@ -118,37 +159,63 @@ func (n *Node) usable() error {
 	return nil
 }
 
-// Do services one request against the array byte address space: the caller
-// queues FIFO, then is charged the array service time. The stream key (the
-// file identity) drives sequential-access detection; read selects the
-// degraded-mode read path when a drive is out. It returns the total time
-// spent (queueing + service) and ErrDown if the node is (or goes) out of
-// service before the request reaches the array.
+// Do services one request against the array byte address space. Without a
+// cache the caller queues FIFO and is charged the array service time; with
+// one, hits are served from node memory and only misses and write-backs
+// reach the queue. The stream key (the file identity) drives
+// sequential-access detection; read selects the degraded-mode read path when
+// a drive is out. It returns the total time spent (queueing + service) and
+// ErrDown if the node is (or goes) out of service before the request
+// reaches the array.
 func (n *Node) Do(p *sim.Process, stream, addr, bytes int64, read bool) (sim.Time, error) {
 	start := p.Now()
 	if err := n.usable(); err != nil {
 		return 0, err
 	}
+	if n.cache != nil {
+		var err error
+		if read {
+			err = n.cache.Read(p, stream, addr, bytes)
+		} else {
+			err = n.cache.Write(p, stream, addr, bytes)
+		}
+		return p.Now() - start, err
+	}
+	err := n.BlockIO(p, stream, addr, bytes, read)
+	return p.Now() - start, err
+}
+
+// BlockIO is the raw queue + array service path (the cache.Backend
+// implementation): the caller queues FIFO, then is charged the array service
+// time. The node's request/byte counters track this physical traffic, so
+// with a cache attached they report array-level I/O after hit absorption
+// and write-behind coalescing.
+func (n *Node) BlockIO(p *sim.Process, stream, addr, bytes int64, read bool) error {
+	if err := n.usable(); err != nil {
+		return err
+	}
 	if err := n.queue.AcquireWait(p); err != nil {
 		n.rejected++
-		return p.Now() - start, ErrDown
+		return ErrDown
 	}
 	if err := n.usable(); err != nil {
 		// The array died while we queued (second drive failure).
 		n.queue.Release(p)
-		return p.Now() - start, ErrDown
+		return ErrDown
 	}
 	svc := n.scale(n.array.Service(stream, addr, bytes, read))
 	p.Sleep(svc)
 	n.queue.Release(p)
 	n.requests++
 	n.bytes += bytes
-	return p.Now() - start, nil
+	return nil
 }
 
 // DoSweep services a scatter-gather batch: `requests` disjoint pieces
 // totalling `bytes`, submitted together and serviced in one sorted arm pass
-// starting at addr. The caller queues once for the whole sweep.
+// starting at addr. The caller queues once for the whole sweep. Sweeps
+// bypass the block cache: they are the PPFS aggregation path, already
+// coalesced client-side.
 func (n *Node) DoSweep(p *sim.Process, stream, addr, bytes int64, requests int) (sim.Time, error) {
 	start := p.Now()
 	if err := n.usable(); err != nil {

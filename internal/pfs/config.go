@@ -3,6 +3,7 @@ package pfs
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/disk"
 	"repro/internal/sim"
 )
@@ -26,6 +27,12 @@ type Config struct {
 	// errors out immediately (the paper-faithful behaviour — PFS had no
 	// redundancy across I/O nodes).
 	Failover FailoverConfig
+
+	// Cache attaches a block cache to every I/O node (the §8 what-if: the
+	// real PFS had none, every request went straight to the arrays). The
+	// zero value leaves the data path untouched; the cache block size
+	// defaults to the stripe unit so one block fetch is one stripe chunk.
+	Cache cache.Config
 }
 
 // FailoverConfig describes the request failover policy used under injected

@@ -357,7 +357,9 @@ func (h *Handle) Lsize(p *sim.Process) (int64, error) {
 }
 
 // Flush forces buffered data to the I/O node holding the handle's current
-// stripe (the Fortran FORFLUSH call of Table 5).
+// stripe (the Fortran FORFLUSH call of Table 5). With I/O-node caching it
+// additionally drains the file's write-behind residue on every node, so
+// data is on disk when Flush returns.
 func (h *Handle) Flush(p *sim.Process) error {
 	if h.closed {
 		return ErrClosed
@@ -368,6 +370,7 @@ func (h *Handle) Flush(p *sim.Process) error {
 	if err := h.drainWriteBuffer(p); err != nil {
 		return err
 	}
+	fs.drainCache(p, f)
 	stripe := h.offset / fs.cfg.StripeUnit
 	ion := f.stripeIONode(stripe, len(fs.ion))
 	if err := fs.syncIO(p, ion, fs.cfg.Cost.FlushService); err != nil {

@@ -16,6 +16,7 @@ package pfs
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/disk"
 	"repro/internal/ionode"
 	"repro/internal/iotrace"
@@ -76,7 +77,11 @@ func New(eng *sim.Engine, msh *mesh.Mesh, cfg Config) (*FileSystem, error) {
 	}
 	total := msh.Nodes()
 	for i := 0; i < cfg.IONodes; i++ {
-		fs.ion = append(fs.ion, ionode.New(eng, i, cfg.Disk))
+		n := ionode.New(eng, i, cfg.Disk)
+		if cfg.Cache.Enabled {
+			n.EnableCache(eng, cfg.Cache.Normalized(cfg.StripeUnit))
+		}
+		fs.ion = append(fs.ion, n)
 		home := total - cfg.IONodes + i
 		if home < 0 {
 			home = i % total
@@ -250,6 +255,30 @@ func (fs *FileSystem) chargeColdOpen(p *sim.Process) {
 
 // FailoverStats returns the accumulated failover counters.
 func (fs *FileSystem) FailoverStats() FailoverStats { return fs.fo }
+
+// CacheStats returns every I/O node's cache counters, in node order; nil
+// when caching is disabled.
+func (fs *FileSystem) CacheStats() []cache.Stats {
+	var out []cache.Stats
+	for _, n := range fs.ion {
+		if s, ok := n.CacheStats(); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// drainCache synchronously flushes a file's write-behind residue on every
+// I/O node, in node order. Down nodes are skipped: their dirty blocks were
+// already disposed of by the outage policy.
+func (fs *FileSystem) drainCache(p *sim.Process, f *File) {
+	if !fs.cfg.Cache.Enabled {
+		return
+	}
+	for _, n := range fs.ion {
+		_ = n.Drain(p, int64(f.id))
+	}
+}
 
 // Replica placement: stripe chunks whose primary is I/O node i keep their
 // replica on node (i+1) mod N, in a separate region of that node's array

@@ -19,6 +19,7 @@ package iochar
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -127,6 +128,48 @@ func TradeoffSweep(rs ResilientStudy, intervals []int) ([]analysis.TradeoffPoint
 
 // RenderResilience formats a resilience summary as text.
 func RenderResilience(r ResilienceReport) string { return analysis.RenderResilience(r) }
+
+// I/O-node caching (the §8 what-if: PFS had no cache between the request
+// queue and the arrays).
+
+// CacheConfig configures the per-I/O-node block cache: capacity, block size,
+// write-behind, pattern-driven prefetch, and the outage policy for dirty
+// blocks. Set it as Study.Machine.PFS.Cache.
+type CacheConfig = cache.Config
+
+// CacheStats is one cache's (or the aggregate's) counter set.
+type CacheStats = cache.Stats
+
+// CacheReport is a run's cache-effectiveness section; Report.Cache carries it
+// when the study ran with caching enabled.
+type CacheReport = analysis.CacheReport
+
+// CacheComparison is one workload's cached-versus-uncached outcome.
+type CacheComparison = analysis.CacheComparison
+
+// DefaultCacheConfig returns the default cache policy: 8 MB per node,
+// stripe-unit blocks, write-behind, prefetch depth 4.
+func DefaultCacheConfig() CacheConfig { return cache.DefaultConfig() }
+
+// CacheSweep runs the three applications cached and uncached and reports the
+// mean read-latency change per application.
+func CacheSweep(small bool, ccfg CacheConfig) ([]CacheComparison, error) {
+	return core.CacheSweep(small, ccfg)
+}
+
+// ModeCacheSweep compares cached against uncached synthetic runs under all
+// six PFS access modes plus a random-read control.
+func ModeCacheSweep(ccfg CacheConfig) ([]CacheComparison, error) {
+	return core.ModeCacheSweep(ccfg)
+}
+
+// RenderCacheReport formats a cache-effectiveness report as text.
+func RenderCacheReport(r *CacheReport) string { return analysis.RenderCacheReport(r) }
+
+// RenderCacheSweep formats a cached-versus-uncached comparison table.
+func RenderCacheSweep(title string, rows []CacheComparison) string {
+	return analysis.RenderCacheSweep(title, rows)
+}
 
 // RenderTradeoff formats a tradeoff sweep as text.
 func RenderTradeoff(points []analysis.TradeoffPoint) string { return analysis.RenderTradeoff(points) }
