@@ -9,6 +9,8 @@
 //	       [-cache] [-cache-mb MB] [-prefetch=false]
 //	       [-trace FILE] [-trace-ascii] [-window SECONDS] [-figures DIR]
 //	       [-mtbf SECONDS -seed N]
+//	       [-corrupt all|bit-rot,torn-write,misdirected-write] [-scrub]
+//	       [-deadline SECONDS] [-retries N]
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/integrity"
 	"repro/internal/iotrace"
 	"repro/internal/pfs"
 	"repro/internal/ppfs"
@@ -56,6 +59,10 @@ func run(args []string, out io.Writer) error {
 	outage := fs.Float64("outage", 5, "duration in seconds of each injected outage")
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting faults after this many simulated seconds")
 	seed := fs.Uint64("seed", 0, "seed for the injected-fault schedule")
+	corrupt := fs.String("corrupt", "", "inject silent data corruption: comma-separated classes (bit-rot, torn-write, misdirected-write) or 'all'; enables the checksum layer")
+	scrub := fs.Bool("scrub", false, "run the background scrubber on every I/O node (enables the checksum layer)")
+	deadline := fs.Float64("deadline", 0, "per-request deadline in seconds (enables the client reliability layer)")
+	retries := fs.Int("retries", 0, "max client retries after a corrupt read, >= 1 (0 uses the reliability layer's default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +110,39 @@ func run(args []string, out io.Writer) error {
 		study.FaultSeed = *seed
 	}
 
+	if *corrupt != "" || *scrub {
+		icfg := integrity.DefaultConfig()
+		if *scrub {
+			icfg.Scrub = integrity.DefaultScrubConfig()
+			icfg.Scrub.Window = sim.FromSeconds(*chaosWindow)
+		}
+		study.Machine.PFS.Integrity = icfg
+	}
+	if *corrupt != "" {
+		cp, err := fault.ParseCorruptionClasses(*corrupt, sim.FromSeconds(*chaosWindow))
+		if err != nil {
+			return err
+		}
+		study.Faults.Corruption = cp
+		study.FaultSeed = *seed
+		// Unrepairable classes (torn, misdirected) need the replica path so
+		// corrupt reads can reroute instead of killing the run.
+		if !study.Machine.PFS.Failover.Enabled {
+			study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
+		}
+		study.Machine.PFS.Failover.Replicate = true
+	}
+	if *corrupt != "" || *deadline > 0 || *retries > 0 {
+		rel := pfs.DefaultReliabilityConfig()
+		if *deadline > 0 {
+			rel.Deadline = sim.FromSeconds(*deadline)
+		}
+		if *retries > 0 {
+			rel.MaxRetries = *retries
+		}
+		study.Machine.PFS.Reliability = rel
+	}
+
 	report, err := core.Run(study)
 	if err != nil {
 		return err
@@ -124,6 +164,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if report.Cache != nil {
 		fmt.Fprintln(out, analysis.RenderCacheReport(report.Cache))
+	}
+	if report.Integrity != nil {
+		fmt.Fprintln(out, analysis.RenderIntegrityReport(report.Integrity))
 	}
 	if len(report.Incidents) > 0 {
 		fmt.Fprintln(out, analysis.RenderResilience(report.Resilience()))

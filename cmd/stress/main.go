@@ -13,6 +13,7 @@
 //	stress -scenario outage -seed 7
 //	stress -scenario disks -sweep 0,1,2,4
 //	stress -config chaos.json -app escat -ckpt-interval 2
+//	stress -scenario none -corrupt all -scrub -deadline 0.5 -retries 4
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/integrity"
 	"repro/internal/pfs"
 	"repro/internal/sim"
 )
@@ -59,6 +61,11 @@ func run(args []string, out io.Writer) error {
 	cacheMB := fs.Float64("cache-mb", 8, "per-node cache capacity in MB (with -cache)")
 	prefetch := fs.Bool("prefetch", true, "enable pattern-driven prefetch (with -cache)")
 	flushOnFail := fs.Bool("flush-on-fail", false, "drain dirty cache blocks synchronously when a node fails instead of losing them")
+	corrupt := fs.String("corrupt", "", "inject silent data corruption: comma-separated classes (bit-rot, torn-write, misdirected-write) or 'all'; enables the checksum layer")
+	scrub := fs.Bool("scrub", false, "run the background scrubber on every I/O node (enables the checksum layer)")
+	deadline := fs.Float64("deadline", 0, "per-request deadline in seconds (enables the client reliability layer)")
+	retries := fs.Int("retries", 0, "max client retries after a corrupt read, >= 1 (0 uses the reliability layer's default)")
+	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting corruption (and scrubbing) after this many simulated seconds")
 	sweep := fs.String("sweep", "", "comma-separated checkpoint intervals to sweep (e.g. 0,1,2,4)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,9 +89,41 @@ func run(args []string, out io.Writer) error {
 		study.Machine.PFS.Cache = ccfg
 	}
 
+	if *corrupt != "" || *scrub {
+		icfg := integrity.DefaultConfig()
+		if *scrub {
+			icfg.Scrub = integrity.DefaultScrubConfig()
+			icfg.Scrub.Window = sim.FromSeconds(*chaosWindow)
+		}
+		study.Machine.PFS.Integrity = icfg
+	}
+	if *corrupt != "" || *deadline > 0 || *retries > 0 {
+		rel := pfs.DefaultReliabilityConfig()
+		if *deadline > 0 {
+			rel.Deadline = sim.FromSeconds(*deadline)
+		}
+		if *retries > 0 {
+			rel.MaxRetries = *retries
+		}
+		study.Machine.PFS.Reliability = rel
+	}
+
 	plan, err := loadPlan(*scenario, *config)
 	if err != nil {
 		return err
+	}
+	if *corrupt != "" {
+		cp, err := fault.ParseCorruptionClasses(*corrupt, sim.FromSeconds(*chaosWindow))
+		if err != nil {
+			return err
+		}
+		plan.Corruption = cp
+		// Unrepairable classes (torn, misdirected) need the replica path so
+		// corrupt reads can reroute instead of killing the attempt.
+		if !study.Machine.PFS.Failover.Enabled {
+			study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
+		}
+		study.Machine.PFS.Failover.Replicate = true
 	}
 	study.Faults = plan
 	study.FaultSeed = *seed
@@ -119,6 +158,9 @@ func run(args []string, out io.Writer) error {
 	printIncidents(out, rr.Incidents)
 	if rr.Final != nil && rr.Final.Cache != nil {
 		fmt.Fprintln(out, analysis.RenderCacheReport(rr.Final.Cache))
+	}
+	if rr.Final != nil && rr.Final.Integrity != nil {
+		fmt.Fprintln(out, analysis.RenderIntegrityReport(rr.Final.Integrity))
 	}
 	fmt.Fprint(out, analysis.RenderResilience(rr.Resilience()))
 	return nil

@@ -25,9 +25,11 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/integrity"
 	"repro/internal/sim"
 )
 
@@ -189,6 +191,18 @@ func (c *Cache) fetchRun(p *sim.Process, stream, idx, last, addr, n int64) (int6
 		c.pending[j] = comp
 	}
 	err := c.be.BlockIO(p, stream, idx*bs, (runEnd-idx+1)*bs, true)
+	if err != nil && errors.Is(err, integrity.ErrCorrupt) && c.pending[idx] == comp {
+		// The node's checksum verification rejected the fetch and could not
+		// repair it in place. Never install the run (no poison in the cache);
+		// re-fetch once — an intervening write or repair may have cleared it —
+		// and otherwise propagate so the PFS retry path can reroute to a
+		// replica.
+		c.s.CorruptFetches++
+		err = c.be.BlockIO(p, stream, idx*bs, (runEnd-idx+1)*bs, true)
+		if err == nil {
+			c.s.CorruptRefetches++
+		}
+	}
 	owner := c.pending[idx] == comp // false if an outage already aborted us
 	if owner {
 		for j := idx; j <= runEnd; j++ {
@@ -439,6 +453,7 @@ func (c *Cache) writeRun(p *sim.Process, stream, lo, hi int64) error {
 	if err := c.be.BlockIO(p, stream, lo*bs, nb*bs, false); err != nil {
 		c.s.LostDirtyBlocks += nb
 		c.s.LostDirtyBytes += nb * bs
+		c.recordLost(lo, hi)
 		return err
 	}
 	c.s.Flushes++
@@ -457,12 +472,30 @@ func (c *Cache) discardDirty() {
 		}
 	}
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for i := 0; i < len(idxs); {
+		j := i
+		for j+1 < len(idxs) && idxs[j+1] == idxs[j]+1 {
+			j++
+		}
+		c.recordLost(idxs[i], idxs[j])
+		i = j + 1
+	}
 	for _, idx := range idxs {
 		b := c.blocks[idx]
 		c.remove(b)
 		c.s.LostDirtyBlocks++
 		c.s.LostDirtyBytes += c.cfg.BlockBytes
 	}
+}
+
+// recordLost notes a lost dirty block range [lo, hi] for the incident
+// timeline, bounded so a pathological outage cannot bloat the stats.
+func (c *Cache) recordLost(lo, hi int64) {
+	if len(c.s.LostRanges) >= maxLostRanges {
+		c.s.LostRangesDropped++
+		return
+	}
+	c.s.LostRanges = append(c.s.LostRanges, BlockRange{Lo: lo, Hi: hi})
 }
 
 // ensureFlusher spawns the write-behind daemon if dirty blocks exist and it
@@ -537,6 +570,9 @@ func (c *Cache) ensurePrefetcher() {
 			}
 			delete(c.pending, req.idx)
 			if err != nil {
+				if errors.Is(err, integrity.ErrCorrupt) {
+					c.s.CorruptFetches++
+				}
 				c.s.PrefetchAborted++
 				comp.Complete(p)
 				continue

@@ -3,6 +3,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -391,7 +392,7 @@ func TestFlushOrderingDeterministicUnderConcurrentEvictions(t *testing.T) {
 	if strings.Join(log1, "\n") != strings.Join(log2, "\n") {
 		t.Fatalf("two identical runs diverged:\n%v\nvs\n%v", log1, log2)
 	}
-	if s1 != s2 {
+	if !reflect.DeepEqual(s1, s2) {
 		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
 	}
 }

@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"testing"
+)
+
+// decodeAccesses turns a fuzz byte string into a bounded access trace:
+// 3 bytes per access — stream selector, kilobyte-granular address, and a
+// 1–4 KB length. Small alphabets keep sequential and strided continuations
+// (addr == lastEnd, repeated deltas) reachable by the fuzzer's mutations.
+func decodeAccesses(data []byte) (stream, addr, n []int64) {
+	for i := 0; i+2 < len(data); i += 3 {
+		stream = append(stream, int64(data[i]%4))
+		addr = append(addr, int64(data[i+1])*1024)
+		n = append(n, int64(data[i+2]%4+1)*1024)
+	}
+	return
+}
+
+// FuzzClassifier drives the online stream classifier with arbitrary access
+// traces and checks its structural invariants: verdicts are deterministic,
+// an all-sequential stream classifies sequential, and predictions are
+// strictly increasing non-negative block indices beyond the last access.
+func FuzzClassifier(f *testing.F) {
+	f.Add([]byte{})                                                     // no accesses at all
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 2, 0, 0, 3, 0})                   // sequential: each addr at lastEnd
+	f.Add([]byte{1, 0, 1, 1, 8, 1, 1, 16, 1, 1, 24, 1})                 // strided: fixed 8 KB delta
+	f.Add([]byte{2, 9, 2, 2, 3, 0, 2, 200, 1, 2, 50, 3, 2, 120, 0})     // random
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 0, 0, 2, 0, 1, 2, 0}) // interleaved streams
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const blockBytes, depth = 64 * 1024, 4
+		stream, addr, n := decodeAccesses(data)
+
+		cl := newClassifier()
+		ref := newClassifier() // determinism witness
+		allSeq := map[int64]bool{}
+		lastEnd := map[int64]int64{}
+		count := map[int64]int64{}
+		for i := range stream {
+			s, a, ln := stream[i], addr[i], n[i]
+			if prev, seen := lastEnd[s]; seen && a != prev {
+				allSeq[s] = false
+			} else if !seen {
+				allSeq[s] = true
+			}
+			lastEnd[s] = a + ln
+			count[s]++
+
+			st := cl.observe(s, a, ln)
+			ref.observe(s, a, ln)
+			if st.accesses < classifyMinAccesses && st.pattern() != PatternUnknown {
+				t.Fatalf("verdict %v after only %d accesses", st.pattern(), st.accesses)
+			}
+			pred := cl.predict(st, ln, blockBytes, depth)
+			if len(pred) > 0 && st.pattern() == PatternSequential && len(pred) > depth {
+				t.Fatalf("sequential prediction of %d blocks exceeds depth %d", len(pred), depth)
+			}
+			lastBlock := (a + ln - 1) / blockBytes
+			for j, b := range pred {
+				if b < 0 {
+					t.Fatalf("negative predicted block %d", b)
+				}
+				if j > 0 && b <= pred[j-1] {
+					t.Fatalf("predictions not strictly increasing: %v", pred)
+				}
+				if st.pattern() == PatternSequential && b <= lastBlock {
+					t.Fatalf("sequential readahead block %d not past last accessed block %d", b, lastBlock)
+				}
+			}
+		}
+
+		for s, seq := range allSeq {
+			st := cl.streams[s]
+			if seq && count[s] >= classifyMinAccesses && st.pattern() != PatternSequential {
+				t.Fatalf("stream %d: every transition sequential over %d accesses, verdict %v",
+					s, count[s], st.pattern())
+			}
+		}
+		gotSeq, gotStr, gotRnd, gotUnk := cl.counts()
+		if total := gotSeq + gotStr + gotRnd + gotUnk; total != int64(len(cl.streams)) {
+			t.Fatalf("counts sum %d != %d streams", total, len(cl.streams))
+		}
+		refSeq, refStr, refRnd, refUnk := ref.counts()
+		if gotSeq != refSeq || gotStr != refStr || gotRnd != refRnd || gotUnk != refUnk {
+			t.Fatal("same trace classified differently on replay")
+		}
+	})
+}
+
+// FuzzPredictStability replays one stream's trace twice and requires the
+// final prediction to match byte-for-byte — prefetch decisions may depend
+// only on the observed trace.
+func FuzzPredictStability(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 2, 0, 0, 3, 0, 0, 4, 0})
+	f.Add([]byte{3, 0, 3, 3, 16, 3, 3, 32, 3, 3, 48, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const blockBytes, depth = 64 * 1024, 4
+		stream, addr, n := decodeAccesses(data)
+		run := func() []int64 {
+			cl := newClassifier()
+			var last []int64
+			for i := range stream {
+				st := cl.observe(stream[i], addr[i], n[i])
+				last = cl.predict(st, n[i], blockBytes, depth)
+			}
+			return last
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			t.Fatalf("replay predicted %d blocks, first run %d", len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("replay prediction differs at %d: %v vs %v", i, a, b)
+			}
+		}
+	})
+}

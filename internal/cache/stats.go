@@ -1,5 +1,39 @@
 package cache
 
+import (
+	"fmt"
+	"strings"
+)
+
+// maxLostRanges bounds the per-cache lost-range ledger.
+const maxLostRanges = 64
+
+// BlockRange is an inclusive run [Lo, Hi] of block indices.
+type BlockRange struct {
+	Lo, Hi int64
+}
+
+// String renders a single index as "12" and a run as "12-15".
+func (r BlockRange) String() string {
+	if r.Lo == r.Hi {
+		return fmt.Sprintf("%d", r.Lo)
+	}
+	return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+}
+
+// FormatRanges renders lost block ranges for incident notes, e.g.
+// "blocks 12-15, 40, 73-80".
+func FormatRanges(rs []BlockRange) string {
+	if len(rs) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
 // Stats are one cache's accumulated counters. Aggregate sums them across
 // nodes; Node is the owning I/O node (-1 for an aggregate).
 type Stats struct {
@@ -32,9 +66,15 @@ type Stats struct {
 	PrefetchAborted int64 // in-flight fetches abandoned (node down, error)
 
 	// Fault interaction.
-	LostDirtyBlocks int64 // dirty blocks discarded by an outage
-	LostDirtyBytes  int64
-	OutageDrains    int64 // graceful FlushOnFail drains performed
+	LostDirtyBlocks   int64 // dirty blocks discarded by an outage
+	LostDirtyBytes    int64
+	OutageDrains      int64        // graceful FlushOnFail drains performed
+	LostRanges        []BlockRange // which block runs were lost, in order
+	LostRangesDropped int64        // ranges beyond the maxLostRanges cap
+
+	// Integrity interaction.
+	CorruptFetches   int64 // fetches rejected by checksum verification
+	CorruptRefetches int64 // rejected fetches that succeeded on re-fetch
 
 	// Stream classification at last report (per-stream verdicts).
 	SeqStreams     int64
@@ -94,6 +134,16 @@ func Aggregate(per []Stats) Stats {
 		t.LostDirtyBlocks += s.LostDirtyBlocks
 		t.LostDirtyBytes += s.LostDirtyBytes
 		t.OutageDrains += s.OutageDrains
+		for _, r := range s.LostRanges {
+			if len(t.LostRanges) >= maxLostRanges {
+				t.LostRangesDropped++
+				continue
+			}
+			t.LostRanges = append(t.LostRanges, r)
+		}
+		t.LostRangesDropped += s.LostRangesDropped
+		t.CorruptFetches += s.CorruptFetches
+		t.CorruptRefetches += s.CorruptRefetches
 		t.SeqStreams += s.SeqStreams
 		t.StridedStreams += s.StridedStreams
 		t.RandomStreams += s.RandomStreams

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/apps/escat"
@@ -127,6 +128,10 @@ type Report struct {
 	// Cache is the I/O-node cache effectiveness report; nil when the
 	// study ran without caching.
 	Cache *analysis.CacheReport
+
+	// Integrity is the end-to-end data-integrity report; nil when the
+	// study ran without the checksum layer.
+	Integrity *analysis.IntegrityReport
 }
 
 // appErr lets Run surface failures collected inside node programs.
@@ -189,14 +194,26 @@ func prepare(s Study) (Study, *runtime, error) {
 	return s, rt, nil
 }
 
-// inject arms the study's fault plan against the runtime's machine; it
-// returns nil when the plan is empty (no injector processes are spawned, so
-// the healthy path is untouched).
+// inject arms the study's fault plan against the runtime's machine: discrete
+// events via the injector, corruption via the checksum stores' write-path
+// policies and bit-rot drivers. It returns nil when no discrete events are
+// scheduled (no injector processes are spawned, so the healthy path is
+// untouched; corruption may still be armed).
 func (rt *runtime) inject(s Study, events []fault.Event) *fault.Injector {
+	if !s.Faults.Corruption.Empty() {
+		fault.ArmCorruption(rt.m.Eng, rt.m.PFS.IONodes(), s.Faults.Corruption, s.FaultSeed)
+	}
 	if len(events) == 0 {
 		return nil
 	}
 	return fault.Inject(rt.m.Eng, rt.m.PFS.IONodes(), events)
+}
+
+// clockPadded reports whether background integrity processes (bit-rot
+// drivers, the scrubber) keep the engine clock running past the
+// application's finish, so the run's wall clock must come from the trace.
+func (rt *runtime) clockPadded(s Study) bool {
+	return !s.Faults.Corruption.Empty() || rt.m.PFS.ScrubWindowEnd() > 0
 }
 
 // report assembles the study's report after a completed run.
@@ -221,6 +238,14 @@ func (rt *runtime) report(s Study) *Report {
 		r.PolicyStats = &st
 	}
 	r.Cache = analysis.BuildCacheReport(rt.m.PFS.CacheStats())
+	if !s.Faults.Corruption.Empty() {
+		// End-of-run audit: sweep every tracked block so latent corruption
+		// is detected (and, where parity allows, repaired) before the report
+		// tallies coverage. Accounting only — no simulated time.
+		rt.m.PFS.AuditIntegrity()
+	}
+	r.Integrity = analysis.BuildIntegrityReport(
+		rt.m.PFS.IntegrityStats(), rt.m.PFS.IntegrityEvents(), rt.m.PFS.ReliabilityStats())
 	return r
 }
 
@@ -251,21 +276,41 @@ func Run(s Study) (*Report, error) {
 	}
 
 	r := rt.report(s)
+	if inj != nil || rt.clockPadded(s) {
+		// Injector drivers (a background rebuild, a not-yet-due storm) and
+		// integrity daemons (scrubber, bit-rot arrivals) can outlive the
+		// application; the run's wall clock is the application's own finish.
+		// Without a kept trace the engine clock stands in.
+		if end := lastEventEnd(r.Events); end > 0 {
+			r.Wall = end
+		}
+	}
 	if inj != nil {
-		// Injector drivers (a background rebuild, a not-yet-due storm) can
-		// outlive the application; the run's wall clock is the application's
-		// own finish. Without a kept trace the engine clock stands in.
 		inj.CloseOpen(rt.m.Eng.Now())
 		incs := inj.Incidents()
 		if end := lastEventEnd(r.Events); end > 0 {
-			r.Wall = end
 			// The incident timeline ends with the application too: faults
 			// realized after its last operation affected nothing.
 			incs = capIncidents(incs, end)
 		}
 		r.Incidents = incs
 	}
+	if r.Integrity != nil && len(r.Integrity.Events) > 0 {
+		// Corruption incidents are not capped at the application's finish:
+		// the scrubber legitimately detects and repairs latent errors after
+		// the last application operation, and the report should say so.
+		r.Incidents = mergeIncidents(r.Incidents, fault.CorruptionIncidents(r.Integrity.Events))
+	}
 	return r, nil
+}
+
+// mergeIncidents interleaves two incident timelines by start time.
+func mergeIncidents(a, b []fault.Incident) []fault.Incident {
+	out := make([]fault.Incident, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
 }
 
 func mergeDefaults(s Study) Study {

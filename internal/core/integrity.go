@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/integrity"
+	"repro/internal/iotrace"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// sweepCorruptionPlan builds the single-class corruption plan one sweep cell
+// injects. Rates are calibrated for the small studies' resident data.
+func sweepCorruptionPlan(class integrity.Class) fault.CorruptionPlan {
+	switch class {
+	case integrity.BitRot:
+		return fault.CorruptionPlan{BitRotPerGBHour: 2e5, Start: 0, End: 60 * sim.Second}
+	case integrity.TornWrite:
+		return fault.CorruptionPlan{TornWriteProb: 0.05}
+	case integrity.Misdirected:
+		return fault.CorruptionPlan{MisdirectProb: 0.05}
+	}
+	return fault.CorruptionPlan{}
+}
+
+// CorruptionSweep runs each application under each corruption class with the
+// integrity layer (and scrubber) enabled, and tallies detection coverage from
+// the corruption event log. The invariant the robustness work claims — no
+// injected error stays both undetected and unresolved — shows up as a zero
+// Latent column: every corruption is either detected (by a read, the
+// scrubber, or the end-of-run audit) or healed by a later full rewrite of its
+// block. The sweep is deterministic: same seed, same rows.
+func CorruptionSweep(small bool, seed uint64) ([]analysis.CorruptionSweepRow, error) {
+	classes := []integrity.Class{integrity.BitRot, integrity.TornWrite, integrity.Misdirected}
+	var rows []analysis.CorruptionSweepRow
+	for _, app := range Apps() {
+		for _, class := range classes {
+			study := PaperStudy(app)
+			if small {
+				study = SmallStudy(app)
+			}
+			study.Machine.PFS.Integrity = integrity.Config{
+				Enabled: true,
+				Scrub: integrity.ScrubConfig{
+					Enabled:       true,
+					RateBytesPerS: 16 << 20,
+					Window:        60 * sim.Second,
+				},
+			}
+			// Unrepairable classes (torn, misdirected) need the replica path
+			// and the client's corrupt-read retries to survive the run.
+			fo := pfs.DefaultFailoverConfig()
+			fo.Replicate = true
+			study.Machine.PFS.Failover = fo
+			study.Machine.PFS.Reliability = pfs.DefaultReliabilityConfig()
+			study.Faults.Corruption = sweepCorruptionPlan(class)
+			study.FaultSeed = seed
+			r, err := Run(study)
+			if err != nil {
+				return nil, fmt.Errorf("corruption sweep: %s/%s: %w", app, class, err)
+			}
+			row := analysis.CorruptionSweepRow{App: string(app), Class: class}
+			if r.Integrity != nil {
+				for _, c := range r.Integrity.ByClass() {
+					if c.Class != class {
+						continue
+					}
+					row.Injected = c.Injected
+					row.Detected = c.Detected
+					row.Repaired = c.Repaired + c.Rewritten
+					row.Unrepairable = c.Unrepairable
+					row.Latent = c.Latent
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ModeIntegritySweep measures the checksum layer's verify overhead under all
+// six PFS access modes: one synthetic workload per mode, run with the layer
+// off and then on, no corruption injected — the cost of integrity on the
+// healthy path.
+func ModeIntegritySweep(icfg integrity.Config) ([]analysis.IntegrityOverheadRow, error) {
+	icfg.Enabled = true
+	base := pfs.DefaultConfig()
+	verCfg := base
+	verCfg.Integrity = icfg
+
+	var rows []analysis.IntegrityOverheadRow
+	modes := []iotrace.AccessMode{
+		iotrace.ModeUnix, iotrace.ModeLog, iotrace.ModeSync,
+		iotrace.ModeRecord, iotrace.ModeGlobal, iotrace.ModeAsync,
+	}
+	for _, mode := range modes {
+		scfg := workload.SyntheticConfig{
+			Nodes:       8,
+			Mode:        mode,
+			RecordBytes: 4096,
+			Records:     32,
+		}
+		op, labels := "Write", []string{"Write"}
+		if mode == iotrace.ModeGlobal {
+			op, labels = "Read", []string{"Read"}
+		}
+		b, err := syntheticReport(scfg, base)
+		if err != nil {
+			return nil, fmt.Errorf("integrity sweep: %s base: %w", mode, err)
+		}
+		v, err := syntheticReport(scfg, verCfg)
+		if err != nil {
+			return nil, fmt.Errorf("integrity sweep: %s verified: %w", mode, err)
+		}
+		bm, n := meanFor(b.Summary, labels...)
+		vm, _ := meanFor(v.Summary, labels...)
+		rows = append(rows, analysis.IntegrityOverheadRow{
+			Mode: mode.String(), Op: op, Ops: n,
+			BaseMean: bm, Verified: vm,
+			BaseWall: b.Wall, VerWall: v.Wall,
+		})
+	}
+	return rows, nil
+}

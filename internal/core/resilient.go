@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/apps/escat"
 	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/iotrace"
+	"repro/internal/pfs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -28,6 +30,11 @@ type ResilientStudy struct {
 	// RestartCost is the fixed wall-clock charge per restart (requeue,
 	// relaunch, reload of the executable).
 	RestartCost sim.Time
+
+	// preVerify, when set, runs between carried-corruption re-injection and
+	// checkpoint restart verification — a test seam for corrupting specific
+	// files (e.g. the newest checkpoint generation) deterministically.
+	preVerify func(attempt int, coord *ckpt.Coordinator, fs *pfs.FileSystem)
 }
 
 // Attempt is one execution attempt's outcome, in absolute time (restart
@@ -136,11 +143,11 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 
 	rr := &ResilientReport{}
 	base := sim.Time(0)
+	// carried is the corruption ledger harvested from each dying attempt's
+	// storage: latent corruption does not go away because the application
+	// restarted, so it is re-injected into the fresh instance.
+	var carried []pfs.CorruptRange
 	for attempt := 0; attempt < rs.MaxAttempts; attempt++ {
-		resume := 0
-		if coord != nil {
-			resume = coord.ResumeUnit()
-		}
 		s, rt, err := prepare(s)
 		if err != nil {
 			return nil, err
@@ -149,6 +156,19 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 			if err := coord.Prepare(rt.m, rt.fs, base); err != nil {
 				return nil, err
 			}
+		}
+		rt.m.PFS.InjectCorruption(carried)
+		if coord != nil {
+			if rs.preVerify != nil {
+				rs.preVerify(attempt, coord, rt.m.PFS)
+			}
+			// Reject checkpoint generations whose storage holds latent
+			// corruption before the application restores from them.
+			coord.VerifyRestart(rt.m.PFS)
+		}
+		resume := 0
+		if coord != nil {
+			resume = coord.ResumeUnit()
 		}
 		inj := rt.inject(s, fault.ShiftForRestart(events, base))
 		runErr := workload.Run(rt.m, rt.fs, rt.app)
@@ -176,7 +196,15 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 			rr.Wall = base + r.Wall
 			if coord != nil {
 				rr.Ckpt = coord.Stats()
+				if r.Integrity != nil {
+					r.Integrity.CkptVerifyRejects = rr.Ckpt.VerifyRejects
+					r.Integrity.CkptFallbacks = rr.Ckpt.Fallbacks
+				}
 			}
+			if r.Integrity != nil {
+				rr.addIncidents(fault.CorruptionIncidents(r.Integrity.Events), base)
+			}
+			rr.sortIncidents()
 			return rr, nil
 		}
 
@@ -193,6 +221,9 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 			// dead machine's engine) didn't.
 			rr.addIncidents(capIncidents(inj.Incidents(), failedAt), base)
 		}
+		rr.addIncidents(fault.CorruptionIncidents(rt.m.PFS.IntegrityEvents()), base)
+		// Harvest the dying storage's corruption ledger for the next attempt.
+		carried = rt.m.PFS.HarvestCorruption()
 		lostFrom := base
 		if coord != nil && coord.Have() && coord.LastCommitAt() > base {
 			lostFrom = coord.LastCommitAt()
@@ -207,8 +238,16 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 	if coord != nil {
 		rr.Ckpt = coord.Stats()
 	}
+	rr.sortIncidents()
 	return rr, fmt.Errorf("core: %s did not complete within %d attempts (%d failures)",
 		s.App, rs.MaxAttempts, len(rr.Attempts))
+}
+
+// sortIncidents restores global start-time order after per-attempt merges.
+func (rr *ResilientReport) sortIncidents() {
+	sort.SliceStable(rr.Incidents, func(i, j int) bool {
+		return rr.Incidents[i].Start < rr.Incidents[j].Start
+	})
 }
 
 func failAt(app workload.App) (sim.Time, bool) {

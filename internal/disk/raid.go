@@ -98,6 +98,11 @@ type Array struct {
 	degradedRequests int64
 	degradedTime     sim.Time // accumulated wall time spent degraded or dead
 	rebuilds         int64
+
+	repairs     int64 // parity block reconstructions (integrity layer)
+	repairBytes int64
+	scrubReads  int64 // background-scrub verification reads
+	scrubBytes  int64
 }
 
 // NewArray creates an array with no tracked streams (the first request of
@@ -187,6 +192,47 @@ func (a *Array) reconstructOverhead() sim.Time {
 		return a.cfg.ReconstructOverhead
 	}
 	return a.cfg.Overhead / 2
+}
+
+// RepairService is the time for an in-place parity reconstruction of a
+// corrupt block: the controller reads the surviving drives' lanes (paying the
+// degraded-read slowdown even on a healthy array — the suspect lane is
+// excluded), XORs the block back into existence, and rewrites it. The caller
+// (the I/O node's integrity check or scrubber) must hold the request queue
+// for the returned duration. It panics on a dead array, where no parity
+// remains to repair from.
+func (a *Array) RepairService(bytes int64) sim.Time {
+	if bytes < 0 {
+		panic(fmt.Sprintf("disk: invalid repair bytes=%d", bytes))
+	}
+	if a.Dead() {
+		panic("disk: repair on dead array (two failed drives)")
+	}
+	transfer := sim.Time(float64(bytes) / a.cfg.BWBytesPerS * float64(sim.Second))
+	t := a.cfg.Overhead + a.reconstructOverhead() +
+		sim.Time(float64(transfer)*a.DegradedReadFactor()) + // read surviving lanes
+		transfer // rewrite the reconstructed block
+	a.repairs++
+	a.repairBytes += bytes
+	a.busy += t
+	return t
+}
+
+// ScrubRead is the time for one background-scrub verification read of bytes:
+// one positioning (the scrub cursor rarely continues a foreground stream),
+// one controller overhead, and the transfer. It deliberately bypasses the
+// sequential-stream tracker so scrub traffic never perturbs foreground
+// sequential detection. The caller must hold the request queue.
+func (a *Array) ScrubRead(bytes int64) sim.Time {
+	if bytes < 0 {
+		panic(fmt.Sprintf("disk: invalid scrub bytes=%d", bytes))
+	}
+	t := a.cfg.Overhead + a.cfg.Position +
+		sim.Time(float64(bytes)/a.cfg.BWBytesPerS*float64(sim.Second))
+	a.scrubReads++
+	a.scrubBytes += bytes
+	a.busy += t
+	return t
 }
 
 // SweepServiceTime services a sorted scatter-gather sweep: several disjoint
@@ -328,6 +374,11 @@ type Stats struct {
 	DegradedRequests int64    // requests serviced while a drive was out
 	DegradedTime     sim.Time // completed degraded intervals (rebuilds finished)
 	Rebuilds         int64    // rebuilds completed
+
+	Repairs     int64 // parity block reconstructions (integrity layer)
+	RepairBytes int64
+	ScrubReads  int64 // background-scrub verification reads
+	ScrubBytes  int64
 }
 
 // Stats returns accumulated activity counters. DegradedTime covers completed
@@ -337,5 +388,7 @@ func (a *Array) Stats() Stats {
 	return Stats{
 		Requests: a.requests, Sequential: a.seqRequests, Bytes: a.bytes, Busy: a.busy,
 		DegradedRequests: a.degradedRequests, DegradedTime: a.degradedTime, Rebuilds: a.rebuilds,
+		Repairs: a.repairs, RepairBytes: a.repairBytes,
+		ScrubReads: a.scrubReads, ScrubBytes: a.scrubBytes,
 	}
 }

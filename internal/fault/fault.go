@@ -37,6 +37,21 @@ const (
 	// LatencyStorm multiplies the node's service times by Factor for
 	// Duration.
 	LatencyStorm
+
+	// BitRot is latent single-lane corruption of one resident block —
+	// parity-repairable while the array still has its parity lane. Injected
+	// by the corruption plan's exponential arrival process, not by discrete
+	// events; the constant exists for incident-timeline labeling.
+	BitRot
+
+	// TornWrite is a partially persisted physical write: the parity lane is
+	// torn along with the data, so only a rewrite or a replica recovers it.
+	TornWrite
+
+	// MisdirectedWrite is a well-formed write landing at the wrong offset,
+	// silently overwriting a victim block; parity is consistent with the
+	// wrong data, so detection rides on the checksum's embedded identity.
+	MisdirectedWrite
 )
 
 // String returns the kind's report label.
@@ -48,6 +63,12 @@ func (k Kind) String() string {
 		return "ionode-outage"
 	case LatencyStorm:
 		return "latency-storm"
+	case BitRot:
+		return "bit-rot"
+	case TornWrite:
+		return "torn-write"
+	case MisdirectedWrite:
+		return "misdirected-write"
 	}
 	return fmt.Sprintf("fault.Kind(%d)", int(k))
 }
@@ -62,6 +83,12 @@ func ParseKind(s string) (Kind, error) {
 		return IONodeOutage, nil
 	case "latency-storm":
 		return LatencyStorm, nil
+	case "bit-rot":
+		return BitRot, nil
+	case "torn-write":
+		return TornWrite, nil
+	case "misdirected-write":
+		return MisdirectedWrite, nil
 	}
 	return 0, fmt.Errorf("fault: unknown kind %q", s)
 }
@@ -109,11 +136,18 @@ type Plan struct {
 	Events   []Event
 	Exps     []Exp
 	Cascades []Cascade
+
+	// Corruption schedules silent data corruption (bit-rot arrivals plus
+	// torn/misdirected write probabilities). It requires the PFS integrity
+	// layer; without it the corruption plan has no stores to land on and is
+	// ignored.
+	Corruption CorruptionPlan
 }
 
 // Empty reports whether the plan schedules nothing.
 func (pl Plan) Empty() bool {
-	return len(pl.Events) == 0 && len(pl.Exps) == 0 && len(pl.Cascades) == 0
+	return len(pl.Events) == 0 && len(pl.Exps) == 0 && len(pl.Cascades) == 0 &&
+		pl.Corruption.Empty()
 }
 
 // Materialize expands the plan into a concrete event schedule for a machine

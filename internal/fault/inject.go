@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/ionode"
 	"repro/internal/sim"
 )
@@ -75,9 +76,9 @@ func (inj *Injector) runOutage(p *sim.Process, ev Event) {
 	n := inj.nodes[ev.Node]
 	i := inj.begin(ev, p.Now())
 	inj.downCount[ev.Node]++
-	lost0, drains0 := cacheOutageCounters(n)
+	lost0, drains0, ranges0 := cacheOutageCounters(n)
 	n.Fail(p)
-	note := cacheOutageNote(n, lost0, drains0)
+	note := cacheOutageNote(n, lost0, drains0, ranges0)
 	p.Sleep(ev.Duration)
 	inj.downCount[ev.Node]--
 	if inj.downCount[ev.Node] == 0 {
@@ -87,24 +88,35 @@ func (inj *Injector) runOutage(p *sim.Process, ev Event) {
 }
 
 // cacheOutageCounters snapshots the node cache's outage counters (zero
-// without a cache).
-func cacheOutageCounters(n *ionode.Node) (lost, drains int64) {
+// without a cache), including how many lost ranges were already recorded so
+// the note can report only this outage's losses.
+func cacheOutageCounters(n *ionode.Node) (lost, drains int64, ranges int) {
 	if s, ok := n.CacheStats(); ok {
-		return s.LostDirtyBlocks, s.OutageDrains
+		return s.LostDirtyBlocks, s.OutageDrains, len(s.LostRanges)
 	}
-	return 0, 0
+	return 0, 0, 0
 }
 
 // cacheOutageNote describes what the outage did to the node cache's dirty
 // blocks — data lost under the write-behind crash policy is invisible in
-// latency terms, so the incident timeline records it explicitly.
-func cacheOutageNote(n *ionode.Node, lost0, drains0 int64) string {
+// latency terms, so the incident timeline records it explicitly, naming the
+// exact block ranges lost so the damage is attributable.
+func cacheOutageNote(n *ionode.Node, lost0, drains0 int64, ranges0 int) string {
 	s, ok := n.CacheStats()
 	if !ok {
 		return ""
 	}
 	if lost := s.LostDirtyBlocks - lost0; lost > 0 {
-		return fmt.Sprintf("%d dirty cache blocks lost", lost)
+		note := fmt.Sprintf("%d dirty cache blocks lost", lost)
+		if ranges0 <= len(s.LostRanges) {
+			if fresh := s.LostRanges[ranges0:]; len(fresh) > 0 {
+				note += " (blocks " + cache.FormatRanges(fresh) + ")"
+				if s.LostRangesDropped > 0 {
+					note += ", range list truncated"
+				}
+			}
+		}
+		return note
 	}
 	if s.OutageDrains > drains0 {
 		return "dirty cache drained before outage"

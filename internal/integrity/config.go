@@ -1,0 +1,101 @@
+package integrity
+
+import "repro/internal/sim"
+
+// Config describes one I/O node's integrity layer. The zero value disables
+// it entirely: no checksum state, no verify cost, data path bit-identical to
+// a build without the package.
+type Config struct {
+	// Enabled turns the layer on. All other fields are ignored when false.
+	Enabled bool
+
+	// BlockBytes is the checksum granule: one stored sum covers one block.
+	// PFS sets this to its stripe unit when left zero, so one stripe chunk
+	// verifies as one unit.
+	BlockBytes int64
+
+	// VerifyOverhead is the fixed node cost per request for checksum
+	// bookkeeping (on writes: computing sums; on reads: verifying them).
+	VerifyOverhead sim.Time
+
+	// VerifyBWBytesPerS is the checksum-compute bandwidth; every read and
+	// write additionally pays bytes/rate on the I/O node.
+	VerifyBWBytesPerS float64
+
+	// Scrub configures the background scrubber.
+	Scrub ScrubConfig
+}
+
+// ScrubConfig drives the background scrubber: a per-node process that sweeps
+// written blocks at a bounded rate, verifying and repairing latent errors
+// before a demand read trips over them.
+type ScrubConfig struct {
+	// Enabled turns the scrubber on.
+	Enabled bool
+
+	// RateBytesPerS bounds the scrub bandwidth: each slice's array time plus
+	// idle pause average out to this rate. Default 4 MB/s.
+	RateBytesPerS float64
+
+	// SliceBytes is the work quantum per queue acquisition, so scrub traffic
+	// interleaves with (and is delayed by) foreground requests. Default 512 KB.
+	SliceBytes int64
+
+	// Window is the simulated instant the scrubber stands down (it must
+	// terminate for the run to drain). Default 600 s, matching the chaos
+	// window convention of the fault plans.
+	Window sim.Time
+}
+
+// DefaultConfig returns the enabled default policy: stripe-unit blocks (once
+// normalized by PFS), 50 µs verify overhead, 400 MB/s checksum bandwidth,
+// scrubbing off.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:           true,
+		VerifyOverhead:    50 * sim.Microsecond,
+		VerifyBWBytesPerS: 400e6,
+	}
+}
+
+// DefaultScrubConfig returns the enabled default scrub policy.
+func DefaultScrubConfig() ScrubConfig {
+	return ScrubConfig{
+		Enabled:       true,
+		RateBytesPerS: 4 << 20,
+		SliceBytes:    512 << 10,
+		Window:        600 * sim.Second,
+	}
+}
+
+// Normalized fills zero fields with defaults; blockDefault overrides the
+// default block size (PFS passes its stripe unit).
+func (c Config) Normalized(blockDefault int64) Config {
+	d := DefaultConfig()
+	if c.BlockBytes <= 0 {
+		if blockDefault > 0 {
+			c.BlockBytes = blockDefault
+		} else {
+			c.BlockBytes = 64 << 10
+		}
+	}
+	if c.VerifyOverhead <= 0 {
+		c.VerifyOverhead = d.VerifyOverhead
+	}
+	if c.VerifyBWBytesPerS <= 0 {
+		c.VerifyBWBytesPerS = d.VerifyBWBytesPerS
+	}
+	if c.Scrub.Enabled {
+		sd := DefaultScrubConfig()
+		if c.Scrub.RateBytesPerS <= 0 {
+			c.Scrub.RateBytesPerS = sd.RateBytesPerS
+		}
+		if c.Scrub.SliceBytes <= 0 {
+			c.Scrub.SliceBytes = sd.SliceBytes
+		}
+		if c.Scrub.Window <= 0 {
+			c.Scrub.Window = sd.Window
+		}
+	}
+	return c
+}

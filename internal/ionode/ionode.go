@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/disk"
+	"repro/internal/integrity"
 	"repro/internal/sim"
 )
 
@@ -30,7 +31,8 @@ type Node struct {
 	id    int
 	queue *sim.Resource
 	array *disk.Array
-	cache *cache.Cache // nil when caching is disabled
+	cache *cache.Cache     // nil when caching is disabled
+	integ *integrity.Store // nil when the integrity layer is disabled
 
 	down      bool
 	latency   float64 // service-time multiplier; 0 or 1 = nominal
@@ -73,6 +75,101 @@ func (n *Node) EnableCache(eng *sim.Engine, cfg cache.Config) {
 
 // Cache returns the node's cache, or nil when caching is disabled.
 func (n *Node) Cache() *cache.Cache { return n.cache }
+
+// EnableIntegrity attaches a checksum store to the node's array: writes are
+// checksummed and reads verified (both charged the store's verify cost while
+// the request holds the queue), parity-repairable mismatches are
+// reconstructed in place, and unrepairable ones fail the read with
+// integrity.ErrCorrupt. Pass a normalized config; call before the simulation
+// starts issuing requests.
+func (n *Node) EnableIntegrity(cfg integrity.Config) {
+	n.integ = integrity.NewStore(n.id, cfg)
+}
+
+// Integrity returns the node's checksum store, or nil when the integrity
+// layer is disabled.
+func (n *Node) Integrity() *integrity.Store { return n.integ }
+
+// IntegrityStats returns the node's integrity counters; ok is false when the
+// layer is disabled.
+func (n *Node) IntegrityStats() (integrity.Stats, bool) {
+	if n.integ == nil {
+		return integrity.Stats{}, false
+	}
+	return n.integ.Stats(), true
+}
+
+// StartScrubber spawns the background scrub process when the node's
+// integrity config asks for one: it sweeps written blocks at the configured
+// rate, verifying each and repairing latent parity-repairable errors, until
+// the scrub window closes. Each slice contends FIFO with foreground requests
+// for the node queue.
+func (n *Node) StartScrubber(eng *sim.Engine) {
+	if n.integ == nil || !n.integ.Config().Scrub.Enabled {
+		return
+	}
+	cfg := n.integ.Config().Scrub
+	eng.Spawn(fmt.Sprintf("ion%d-scrub", n.id), func(p *sim.Process) {
+		n.scrubLoop(p, cfg)
+	})
+}
+
+// scrubLoop is the scrubber body: one slice of written blocks per queue
+// acquisition, paced to the configured rate, standing down at the window end
+// (the process must terminate for the engine to drain).
+func (n *Node) scrubLoop(p *sim.Process, cfg integrity.ScrubConfig) {
+	bs := n.integ.BlockBytes()
+	maxBlocks := int(cfg.SliceBytes / bs)
+	if maxBlocks < 1 {
+		maxBlocks = 1
+	}
+	period := sim.Time(float64(cfg.SliceBytes) / cfg.RateBytesPerS * float64(sim.Second))
+	if period < sim.Millisecond {
+		period = sim.Millisecond
+	}
+	for p.Now() < cfg.Window {
+		if n.down || n.array.Dead() {
+			p.Sleep(period)
+			continue
+		}
+		start := p.Now()
+		if err := n.queue.AcquireWait(p); err != nil {
+			p.Sleep(period)
+			continue
+		}
+		if n.down || n.array.Dead() {
+			n.queue.Release(p)
+			p.Sleep(period)
+			continue
+		}
+		idxs, _ := n.integ.ScrubNext(maxBlocks)
+		if len(idxs) == 0 {
+			n.queue.Release(p)
+			p.Sleep(period)
+			continue
+		}
+		bytes := int64(len(idxs)) * bs
+		p.Sleep(n.scale(n.array.ScrubRead(bytes)) + n.integ.VerifyCost(bytes))
+		for _, idx := range idxs {
+			class, corrupt := n.integ.ScrubCheck(p.Now(), idx)
+			if !corrupt {
+				continue
+			}
+			if class.Repairable() && !n.array.Degraded() && !n.array.Dead() {
+				p.Sleep(n.scale(n.array.RepairService(bs)))
+				n.integ.Repair(p.Now(), idx, "scrub")
+			}
+			// Unrepairable: detection is recorded; the block stays corrupt
+			// until a rewrite or replica heal clears it.
+		}
+		n.queue.Release(p)
+		took := p.Now() - start
+		n.integ.CountScrub(int64(len(idxs)), took)
+		if took < period {
+			p.Sleep(period - took)
+		}
+	}
+}
 
 // CacheStats returns the node's cache counters; ok is false when caching is
 // disabled.
@@ -204,11 +301,44 @@ func (n *Node) BlockIO(p *sim.Process, stream, addr, bytes int64, read bool) err
 		return ErrDown
 	}
 	svc := n.scale(n.array.Service(stream, addr, bytes, read))
+	if n.integ != nil {
+		svc += n.integ.VerifyCost(bytes)
+	}
 	p.Sleep(svc)
+	corrupt := false
+	if n.integ != nil {
+		if read {
+			corrupt = n.verifyRead(p, addr, bytes)
+		} else {
+			n.integ.CommitWrite(p.Now(), addr, bytes)
+		}
+	}
 	n.queue.Release(p)
 	n.requests++
 	n.bytes += bytes
+	if corrupt {
+		n.integ.CountCorruptRead()
+		return fmt.Errorf("ionode%d: read at %d: %w", n.id, addr, integrity.ErrCorrupt)
+	}
 	return nil
+}
+
+// verifyRead runs checksum verification over a completed read, repairing
+// parity-repairable mismatches in place (the reconstruction is charged while
+// the queue is still held) and reporting whether unrepairable corruption
+// remains — in which case the read must fail rather than serve poison.
+func (n *Node) verifyRead(p *sim.Process, addr, bytes int64) bool {
+	dets := n.integ.CheckRead(p.Now(), addr, bytes)
+	bad := false
+	for _, d := range dets {
+		if d.Class.Repairable() && !n.array.Degraded() && !n.array.Dead() {
+			p.Sleep(n.scale(n.array.RepairService(n.integ.BlockBytes())))
+			n.integ.Repair(p.Now(), d.Block, "read")
+			continue
+		}
+		bad = true
+	}
+	return bad
 }
 
 // DoSweep services a scatter-gather batch: `requests` disjoint pieces
@@ -230,6 +360,12 @@ func (n *Node) DoSweep(p *sim.Process, stream, addr, bytes int64, requests int) 
 		return p.Now() - start, ErrDown
 	}
 	svc := n.scale(n.array.SweepServiceTime(stream, addr, bytes, requests))
+	if n.integ != nil {
+		// Sweeps carry disjoint pieces whose addresses are not recoverable
+		// from (addr, bytes), so they pay the checksum compute cost but do
+		// not update per-block state.
+		svc += n.integ.VerifyCost(bytes)
+	}
 	p.Sleep(svc)
 	n.queue.Release(p)
 	n.requests += int64(requests)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/disk"
+	"repro/internal/integrity"
 	"repro/internal/sim"
 )
 
@@ -33,6 +34,18 @@ type Config struct {
 	// zero value leaves the data path untouched; the cache block size
 	// defaults to the stripe unit so one block fetch is one stripe chunk.
 	Cache cache.Config
+
+	// Integrity attaches a checksum store to every I/O node: writes are
+	// checksummed, reads verified, parity-repairable mismatches repaired in
+	// place, and a background scrubber (when configured) sweeps for latent
+	// errors. The zero value leaves the data path untouched; the checksum
+	// block size defaults to the stripe unit.
+	Integrity integrity.Config
+
+	// Reliability layers per-request deadlines, corrupt-read retries with
+	// seeded backoff + jitter, and hedged reads over the transfer path. The
+	// zero value disables it.
+	Reliability ReliabilityConfig
 }
 
 // FailoverConfig describes the request failover policy used under injected

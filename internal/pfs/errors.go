@@ -38,6 +38,11 @@ var (
 	// scenarios; applications that see it either die (and are restarted
 	// from a checkpoint) or surface it to the caller.
 	ErrIONodeDown = errors.New("pfs: I/O node down and failover exhausted")
+
+	// ErrDeadline is returned when a transfer's reliability-layer deadline
+	// passes before its retries complete. Distinct from ErrIONodeDown so
+	// callers can tell "gave up early by policy" from "retries exhausted".
+	ErrDeadline = errors.New("pfs: request deadline exceeded")
 )
 
 // Seek whence values, matching the os package's convention.

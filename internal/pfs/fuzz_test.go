@@ -1,0 +1,116 @@
+package pfs
+
+import (
+	"testing"
+
+	"repro/internal/ionode"
+	"repro/internal/iotrace"
+)
+
+// fuzzFS builds the minimal FileSystem skeleton the striping math reads:
+// a stripe unit and an I/O-node count. The nodes themselves are never
+// touched — only len(fs.ion) matters to the mapping.
+func fuzzFS(nion int, su int64) *FileSystem {
+	return &FileSystem{cfg: Config{StripeUnit: su}, ion: make([]*ionode.Node, nion)}
+}
+
+// FuzzStripeRoundtrip checks that fileOffset is the exact inverse of the
+// stripeIONode + arrayAddr placement for every file offset, on both the
+// primary copy and its replica (which lives one node over). The corruption
+// ledger depends on this roundtrip: a corrupt block is harvested in file
+// coordinates at restart and re-injected through the forward mapping.
+func FuzzStripeRoundtrip(f *testing.F) {
+	f.Add(uint16(0), uint8(15), uint32(64*1024), uint64(0))
+	f.Add(uint16(3), uint8(15), uint32(64*1024), uint64(200_000))
+	f.Add(uint16(7), uint8(0), uint32(1), uint64(12345))       // single node, 1-byte stripes
+	f.Add(uint16(1023), uint8(63), uint32(512), uint64(1<<29)) // large offset, many nodes
+	f.Add(uint16(42), uint8(7), uint32(4096), uint64(4095))    // last byte of stripe 0
+	f.Fuzz(func(t *testing.T, idRaw uint16, nionRaw uint8, suRaw uint32, offRaw uint64) {
+		nion := int(nionRaw%64) + 1
+		su := int64(suRaw%(1<<20)) + 1
+		off := int64(offRaw % (1 << 30))
+		id := iotrace.FileID(idRaw % 1024)
+
+		fs := fuzzFS(nion, su)
+		// Mirror newFile's placement rule without building a live machine.
+		file := &File{fs: fs, id: id, firstIONode: int(id) % nion}
+
+		stripe := off / su
+		within := off % su
+		node := file.stripeIONode(stripe, nion)
+		if node < 0 || node >= nion {
+			t.Fatalf("stripe %d mapped to node %d of %d", stripe, node, nion)
+		}
+		addr := file.arrayAddr(stripe, within, nion, su)
+		local := addr - int64(id)<<34
+		if local < 0 || local >= replicaAddrBit {
+			t.Fatalf("local address %d escapes the per-file region (replica bit at %d)",
+				local, replicaAddrBit)
+		}
+
+		if got := fs.fileOffset(file, node, local, false); got != off {
+			t.Fatalf("primary roundtrip: offset %d -> node %d local %d -> %d", off, node, local, got)
+		}
+		replicaNode := (node + 1) % nion
+		if got := fs.fileOffset(file, replicaNode, local, true); got != off {
+			t.Fatalf("replica roundtrip: offset %d -> node %d local %d -> %d",
+				off, replicaNode, local, got)
+		}
+
+		// Consecutive stripes of one file on the same node are adjacent in its
+		// array address space — the property the positioning-time model needs.
+		nextSameNode := stripe + int64(nion)
+		if file.stripeIONode(nextSameNode, nion) != node {
+			t.Fatalf("stripe %d and %d not on the same node", stripe, nextSameNode)
+		}
+		if got := file.arrayAddr(nextSameNode, 0, nion, su); got != file.arrayAddr(stripe, 0, nion, su)+su {
+			t.Fatalf("same-node stripes not adjacent: %d then %d (su %d)",
+				file.arrayAddr(stripe, 0, nion, su), got, su)
+		}
+
+		// Adjacent file offsets never invert: walking forward through the file
+		// walks forward within each node's region.
+		if off+1 < int64(1)<<30 && (off+1)/su == stripe {
+			if got := file.arrayAddr(stripe, within+1, nion, su); got != addr+1 {
+				t.Fatalf("intra-stripe step: addr %d then %d", addr, got)
+			}
+		}
+	})
+}
+
+// FuzzFileOffsetForward feeds fileOffset arbitrary (node, local) pairs and
+// requires the forward mapping to reproduce them — the inverse direction of
+// FuzzStripeRoundtrip, covering locals that no real offset produced.
+func FuzzFileOffsetForward(f *testing.F) {
+	f.Add(uint16(0), uint8(15), uint32(64*1024), uint8(3), uint64(64*1024*5+17), false)
+	f.Add(uint16(9), uint8(7), uint32(4096), uint8(0), uint64(0), true)
+	f.Add(uint16(511), uint8(31), uint32(512), uint8(200), uint64(1<<20), true)
+	f.Fuzz(func(t *testing.T, idRaw uint16, nionRaw uint8, suRaw uint32, nodeRaw uint8, localRaw uint64, replica bool) {
+		nion := int(nionRaw%64) + 1
+		su := int64(suRaw%(1<<20)) + 1
+		node := int(nodeRaw) % nion
+		local := int64(localRaw % (1 << 30))
+		id := iotrace.FileID(idRaw % 1024)
+
+		fs := fuzzFS(nion, su)
+		file := &File{fs: fs, id: id, firstIONode: int(id) % nion}
+
+		off := fs.fileOffset(file, node, local, replica)
+		if off < 0 {
+			t.Fatalf("negative file offset %d from node %d local %d", off, node, local)
+		}
+		stripe := off / su
+		primary := file.stripeIONode(stripe, nion)
+		wantNode := primary
+		if replica {
+			wantNode = (primary + 1) % nion
+		}
+		if wantNode != node {
+			t.Fatalf("offset %d (stripe %d) places on node %d, came from node %d (replica=%v)",
+				off, stripe, wantNode, node, replica)
+		}
+		if got := file.arrayAddr(stripe, off%su, nion, su) - int64(id)<<34; got != local {
+			t.Fatalf("forward remap of offset %d gives local %d, want %d", off, got, local)
+		}
+	})
+}

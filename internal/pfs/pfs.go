@@ -14,10 +14,12 @@
 package pfs
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/disk"
+	"repro/internal/integrity"
 	"repro/internal/ionode"
 	"repro/internal/iotrace"
 	"repro/internal/mesh"
@@ -47,6 +49,11 @@ type FileSystem struct {
 	opTime  [iotrace.NumOps]sim.Time
 
 	fo FailoverStats
+
+	rel    ReliabilityStats
+	relRNG *sim.RNG // jitter stream; nil when the reliability layer is off
+	lat    latencyTracker
+	hseq   int64 // hedge process name sequence
 }
 
 // FailoverStats counts the failover machinery's activity under injected
@@ -75,11 +82,19 @@ func New(eng *sim.Engine, msh *mesh.Mesh, cfg Config) (*FileSystem, error) {
 		files: make(map[string]*File),
 		rec:   iotrace.Discard,
 	}
+	fs.cfg.Reliability = cfg.Reliability.Normalized()
+	if fs.cfg.Reliability.Enabled {
+		fs.relRNG = sim.NewRNG(fs.cfg.Reliability.Seed)
+	}
 	total := msh.Nodes()
 	for i := 0; i < cfg.IONodes; i++ {
 		n := ionode.New(eng, i, cfg.Disk)
 		if cfg.Cache.Enabled {
 			n.EnableCache(eng, cfg.Cache.Normalized(cfg.StripeUnit))
+		}
+		if cfg.Integrity.Enabled {
+			n.EnableIntegrity(cfg.Integrity.Normalized(cfg.StripeUnit))
+			n.StartScrubber(eng)
 		}
 		fs.ion = append(fs.ion, n)
 		home := total - cfg.IONodes + i
@@ -256,6 +271,9 @@ func (fs *FileSystem) chargeColdOpen(p *sim.Process) {
 // FailoverStats returns the accumulated failover counters.
 func (fs *FileSystem) FailoverStats() FailoverStats { return fs.fo }
 
+// ReliabilityStats returns the accumulated reliability-layer counters.
+func (fs *FileSystem) ReliabilityStats() ReliabilityStats { return fs.rel }
+
 // CacheStats returns every I/O node's cache counters, in node order; nil
 // when caching is disabled.
 func (fs *FileSystem) CacheStats() []cache.Stats {
@@ -296,6 +314,14 @@ const (
 // the transfer stops with ErrIONodeDown.
 func (fs *FileSystem) transfer(p *sim.Process, node int, f *File, off, n int64, read bool) error {
 	su := fs.cfg.StripeUnit
+	rel := fs.cfg.Reliability
+	var dl sim.Time // absolute deadline for this whole request; 0 = none
+	if rel.Enabled {
+		fs.rel.Requests++
+		if rel.Deadline > 0 {
+			dl = p.Now() + rel.Deadline
+		}
+	}
 	cur := off
 	end := off + n
 	for cur < end {
@@ -307,7 +333,7 @@ func (fs *FileSystem) transfer(p *sim.Process, node int, f *File, off, n int64, 
 		chunk := chunkEnd - cur
 		ion := f.stripeIONode(stripe, len(fs.ion))
 		addr := f.arrayAddr(stripe, cur%su, len(fs.ion), su)
-		if err := fs.chunkIO(p, node, f, ion, addr, chunk, read); err != nil {
+		if err := fs.chunkIO(p, node, f, ion, addr, chunk, read, dl); err != nil {
 			return err
 		}
 		cur = chunkEnd
@@ -323,16 +349,38 @@ func (fs *FileSystem) tryNode(p *sim.Process, node, ion int, stream, addr, chunk
 	return err
 }
 
-// chunkIO services one stripe chunk with failover. The healthy fast path is
-// a single tryNode call, identical in cost to the pre-failover data path.
-func (fs *FileSystem) chunkIO(p *sim.Process, node int, f *File, ion int, addr, chunk int64, read bool) error {
-	err := fs.tryNode(p, node, ion, int64(f.id), addr, chunk, read)
+// chunkIO services one stripe chunk with failover and the reliability
+// layer's corrupt-read retries, deadlines, and hedged reads. The healthy
+// fast path (reliability off) is a single tryNode call, identical in cost to
+// the pre-failover data path.
+func (fs *FileSystem) chunkIO(p *sim.Process, node int, f *File, ion int, addr, chunk int64, read bool, dl sim.Time) error {
+	rel := fs.cfg.Reliability
 	fo := fs.cfg.Failover
+	var err error
+	if read && fs.hedgeEligible() {
+		err = fs.hedgedRead(p, node, f, ion, addr, chunk)
+	} else {
+		start := p.Now()
+		err = fs.tryNode(p, node, ion, int64(f.id), addr, chunk, read)
+		if err == nil && read && rel.Enabled && rel.Hedge {
+			fs.lat.record(p.Now() - start)
+		}
+	}
 	if err == nil {
 		if !read && fo.Enabled && fo.Replicate && len(fs.ion) > 1 {
 			fs.mirrorWrite(p, node, f, ion, addr, chunk)
 		}
 		return nil
+	}
+	if errors.Is(err, integrity.ErrCorrupt) {
+		// The node is healthy; its checksum verification rejected the data.
+		// The dead-node detection timeout does not apply — go straight to
+		// the corrupt-retry policy.
+		if !rel.Enabled {
+			fs.fo.Failed++
+			return fmt.Errorf("pfs: %s chunk at ionode %d: %w", rw(read), ion, err)
+		}
+		return fs.corruptRetry(p, node, f, ion, addr, chunk, dl)
 	}
 	if !fo.Enabled {
 		fs.fo.Failed++
@@ -347,9 +395,17 @@ func (fs *FileSystem) chunkIO(p *sim.Process, node int, f *File, ion int, addr, 
 	p.Sleep(fo.DetectTimeout)
 	backoff := fo.Backoff
 	for attempt := 0; attempt < fo.MaxRetries; attempt++ {
+		if rel.Enabled && dl > 0 && p.Now() >= dl {
+			fs.rel.DeadlineExceeded++
+			return fmt.Errorf("pfs: %s chunk at ionode %d: %w", rw(read), ion, ErrDeadline)
+		}
 		if backoff > 0 {
-			fs.fo.BackoffTime += backoff
-			p.Sleep(backoff)
+			d := backoff
+			if fs.relRNG != nil && rel.JitterFrac > 0 {
+				d = fs.relRNG.Jitter(backoff, rel.JitterFrac)
+			}
+			fs.fo.BackoffTime += d
+			p.Sleep(d)
 			backoff *= 2
 		}
 		fs.fo.Retries++
@@ -368,6 +424,143 @@ func (fs *FileSystem) chunkIO(p *sim.Process, node int, f *File, ion int, addr, 
 	}
 	fs.fo.Failed++
 	return fmt.Errorf("pfs: %s chunk at ionode %d: %w", rw(read), ion, ErrIONodeDown)
+}
+
+// corruptRetry is the reliability layer's response to a read rejected by
+// checksum verification: bounded retries with seeded exponential backoff +
+// jitter, rerouted to the chunk's replica when one exists (re-reading the
+// corrupt primary cannot succeed until something rewrites the block). A
+// replica read that succeeds schedules a background heal write restoring the
+// primary copy.
+func (fs *FileSystem) corruptRetry(p *sim.Process, node int, f *File, ion int, addr, chunk int64, dl sim.Time) error {
+	rel := fs.cfg.Reliability
+	fo := fs.cfg.Failover
+	fs.rel.CorruptRetries++
+	backoff := rel.Backoff
+	var lastErr error = integrity.ErrCorrupt
+	for attempt := 0; attempt < rel.MaxRetries; attempt++ {
+		if dl > 0 && p.Now() >= dl {
+			fs.rel.DeadlineExceeded++
+			return fmt.Errorf("pfs: read chunk at ionode %d: %w", ion, ErrDeadline)
+		}
+		if backoff > 0 {
+			d := fs.relRNG.Jitter(backoff, rel.JitterFrac)
+			fs.rel.RetryBackoffTime += d
+			p.Sleep(d)
+			backoff *= 2
+		}
+		fs.rel.Retries++
+		target, stream, taddr := ion, int64(f.id), addr
+		if fo.Enabled && fo.Replicate && len(fs.ion) > 1 {
+			target = (ion + 1) % len(fs.ion)
+			stream |= replicaStreamBit
+			taddr |= replicaAddrBit
+		}
+		if err := fs.tryNode(p, node, target, stream, taddr, chunk, true); err == nil {
+			if target != ion {
+				fs.rel.CorruptReroutes++
+				fs.healPrimary(node, f, ion, addr, chunk)
+			}
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	fs.rel.CorruptFailed++
+	if errors.Is(lastErr, integrity.ErrCorrupt) {
+		return fmt.Errorf("pfs: read chunk at ionode %d: %w", ion, integrity.ErrCorrupt)
+	}
+	return fmt.Errorf("pfs: read chunk at ionode %d: %w", ion, ErrIONodeDown)
+}
+
+// healPrimary spawns a background repair write of a chunk whose corrupt
+// primary copy was recovered from its replica: the rewrite bumps the block
+// version and restores a valid checksum, closing the corruption event.
+func (fs *FileSystem) healPrimary(node int, f *File, ion int, addr, chunk int64) {
+	fs.hseq++
+	fs.eng.Spawn(fmt.Sprintf("pfs-heal%d-ion%d", fs.hseq, ion), func(hp *sim.Process) {
+		fs.msh.Transfer(hp, node, fs.ionHome[ion], chunk)
+		if err := fs.ion[ion].BlockIO(hp, int64(f.id), addr, chunk, false); err == nil {
+			fs.rel.RepairWrites++
+		}
+	})
+}
+
+// hedgeEligible reports whether hedged reads can engage: layer + hedging on,
+// replicas exist, and enough latency samples have been observed.
+func (fs *FileSystem) hedgeEligible() bool {
+	rel := fs.cfg.Reliability
+	fo := fs.cfg.Failover
+	return rel.Enabled && rel.Hedge && fo.Enabled && fo.Replicate &&
+		len(fs.ion) > 1 && fs.lat.ready(rel.HedgeMinSamples)
+}
+
+// hedgedRead races the primary chunk read against a delayed replica read:
+// the hedge timer fires at the observed HedgeQuantile of recent chunk-read
+// latencies, and the first completion wins (the loser's I/O still occupies
+// its node — hedging trades extra load for tail latency). Both attempts
+// failing returns the primary's error; corrupt-read recovery is then the
+// caller's corruptRetry path.
+func (fs *FileSystem) hedgedRead(p *sim.Process, node int, f *File, ion int, addr, chunk int64) error {
+	rel := fs.cfg.Reliability
+	threshold := fs.lat.quantile(rel.HedgeQuantile)
+	fs.hseq++
+	comp := sim.NewCompletion(fmt.Sprintf("pfs-hedge%d", fs.hseq))
+	var (
+		settled               bool
+		result                error
+		pDone, hIssued, hDone bool
+		pErr                  error
+	)
+	settle := func(sp *sim.Process, err error) {
+		if settled {
+			return
+		}
+		settled = true
+		result = err
+		comp.Complete(sp)
+	}
+	fs.eng.Spawn(fmt.Sprintf("pfs-hedge%d-primary", fs.hseq), func(pp *sim.Process) {
+		start := pp.Now()
+		err := fs.tryNode(pp, node, ion, int64(f.id), addr, chunk, true)
+		pDone, pErr = true, err
+		if err == nil {
+			fs.lat.record(pp.Now() - start)
+			settle(pp, nil)
+			return
+		}
+		// Primary failed: settle now unless a hedge is still in flight and
+		// might yet deliver the data.
+		if !hIssued || hDone {
+			settle(pp, err)
+		}
+	})
+	fs.eng.Spawn(fmt.Sprintf("pfs-hedge%d-timer", fs.hseq), func(hp *sim.Process) {
+		hp.Sleep(threshold)
+		if settled || pDone {
+			return
+		}
+		hIssued = true
+		fs.rel.HedgesIssued++
+		fs.rel.HedgeExtraBytes += chunk
+		target := (ion + 1) % len(fs.ion)
+		err := fs.tryNode(hp, node, target, int64(f.id)|replicaStreamBit, addr|replicaAddrBit, chunk, true)
+		hDone = true
+		if err == nil {
+			if !settled {
+				fs.rel.HedgeWins++
+				settle(hp, nil)
+			} else {
+				fs.rel.HedgeLosses++
+			}
+			return
+		}
+		if pDone && !settled {
+			settle(hp, pErr) // both attempts failed: report the primary's error
+		}
+	})
+	comp.Await(p)
+	return result
 }
 
 // mirrorWrite pushes a chunk's replica to the next I/O node. A failed mirror

@@ -23,6 +23,8 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/integrity"
+	"repro/internal/pfs"
 	"repro/internal/ppfs"
 	"repro/internal/sim"
 )
@@ -97,6 +99,19 @@ const (
 	LatencyStorm = fault.LatencyStorm
 	AnyNode      = fault.AnyNode
 )
+
+// Corruption kinds (incident-timeline labels of the silent-data-corruption
+// classes; scheduled via FaultPlan.Corruption, not discrete events).
+const (
+	BitRot           = fault.BitRot
+	TornWrite        = fault.TornWrite
+	MisdirectedWrite = fault.MisdirectedWrite
+)
+
+// CorruptionPlan schedules silent data corruption — bit-rot arrivals plus
+// torn/misdirected write probabilities — as FaultPlan.Corruption. It requires
+// the integrity layer (Study.Machine.PFS.Integrity).
+type CorruptionPlan = fault.CorruptionPlan
 
 // Incident is one realized fault on the timeline.
 type Incident = fault.Incident
@@ -173,3 +188,69 @@ func RenderCacheSweep(title string, rows []CacheComparison) string {
 
 // RenderTradeoff formats a tradeoff sweep as text.
 func RenderTradeoff(points []analysis.TradeoffPoint) string { return analysis.RenderTradeoff(points) }
+
+// End-to-end data integrity: checksummed blocks, scrub/repair, corruption
+// injection, and the deadline-aware client reliability layer.
+
+// IntegrityConfig attaches a checksum store to every I/O node (set as
+// Study.Machine.PFS.Integrity); ScrubConfig its background scrubber.
+type (
+	IntegrityConfig = integrity.Config
+	ScrubConfig     = integrity.ScrubConfig
+)
+
+// ReliabilityConfig layers per-request deadlines, bounded corrupt-read
+// retries with seeded jittered backoff, and hedged reads onto the PFS client
+// (set as Study.Machine.PFS.Reliability).
+type ReliabilityConfig = pfs.ReliabilityConfig
+
+// IntegrityReport is a run's end-to-end data-integrity section; Report.
+// Integrity carries it when the checksum or reliability layer was active.
+type IntegrityReport = analysis.IntegrityReport
+
+// CorruptionSweepRow and IntegrityOverheadRow are the integrity sweeps' row
+// types.
+type (
+	CorruptionSweepRow   = analysis.CorruptionSweepRow
+	IntegrityOverheadRow = analysis.IntegrityOverheadRow
+)
+
+// DefaultIntegrityConfig returns the enabled checksum layer with calibrated
+// verify costs (scrubbing off; enable via the Scrub field).
+func DefaultIntegrityConfig() IntegrityConfig { return integrity.DefaultConfig() }
+
+// DefaultScrubConfig returns the default background-scrub policy (4 MB/s,
+// 512 KB slices, 600 s window).
+func DefaultScrubConfig() ScrubConfig { return integrity.DefaultScrubConfig() }
+
+// DefaultReliabilityConfig returns the enabled client reliability policy:
+// 3 retries, 10 ms initial backoff with 20% seeded jitter, hedged reads at
+// the 95th latency percentile.
+func DefaultReliabilityConfig() ReliabilityConfig { return pfs.DefaultReliabilityConfig() }
+
+// CorruptionSweep runs every application under every corruption class with
+// the integrity layer, scrubber, replication and client retries enabled, and
+// tallies detection coverage; render with RenderCorruptionSweep.
+func CorruptionSweep(small bool, seed uint64) ([]CorruptionSweepRow, error) {
+	return core.CorruptionSweep(small, seed)
+}
+
+// ModeIntegritySweep measures the checksum layer's healthy-path verify
+// overhead under all six PFS access modes; render with
+// RenderIntegrityOverhead.
+func ModeIntegritySweep(icfg IntegrityConfig) ([]IntegrityOverheadRow, error) {
+	return core.ModeIntegritySweep(icfg)
+}
+
+// RenderIntegrityReport formats a run's integrity section as text.
+func RenderIntegrityReport(r *IntegrityReport) string { return analysis.RenderIntegrityReport(r) }
+
+// RenderCorruptionSweep formats the detection-coverage sweep as a table.
+func RenderCorruptionSweep(rows []CorruptionSweepRow) string {
+	return analysis.RenderCorruptionSweep(rows)
+}
+
+// RenderIntegrityOverhead formats the verify-overhead sweep as a table.
+func RenderIntegrityOverhead(rows []IntegrityOverheadRow) string {
+	return analysis.RenderIntegrityOverhead(rows)
+}
