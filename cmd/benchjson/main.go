@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,12 +34,17 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the JSON document benchjson writes.
+// Output is the JSON document benchjson writes. GOMAXPROCS and NumCPU record
+// the host parallelism the numbers were taken at — a sweep's wall-clock only
+// reflects the executor's fan-out when the host has cores to fan out to, so
+// cross-machine comparisons need this context.
 type Output struct {
 	Package    string   `json:"package"`
 	Bench      string   `json:"bench"`
 	BenchTime  string   `json:"benchtime"`
 	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -57,13 +63,22 @@ func run(args []string) error {
 	benchtime := fs.String("benchtime", "1x", "passed to -benchtime")
 	count := fs.Int("count", 1, "passed to -count")
 	out := fs.String("out", "BENCH_2.json", "output JSON file")
+	cpuprofile := fs.String("cpuprofile", "", "passed through to go test: write the benchmarks' CPU profile here")
+	memprofile := fs.String("memprofile", "", "passed through to go test: write the benchmarks' heap profile here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$",
+	testArgs := []string{"test", "-run", "^$",
 		"-bench", *bench, "-benchtime", *benchtime,
-		"-count", strconv.Itoa(*count), *pkg)
+		"-count", strconv.Itoa(*count)}
+	if *cpuprofile != "" {
+		testArgs = append(testArgs, "-cpuprofile", *cpuprofile)
+	}
+	if *memprofile != "" {
+		testArgs = append(testArgs, "-memprofile", *memprofile)
+	}
+	cmd := exec.Command("go", append(testArgs, *pkg)...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
@@ -79,6 +94,8 @@ func run(args []string) error {
 		Bench:      *bench,
 		BenchTime:  *benchtime,
 		GoVersion:  goVersion(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Benchmarks: results,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

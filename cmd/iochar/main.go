@@ -29,6 +29,7 @@ import (
 	"repro/internal/iotrace"
 	"repro/internal/pfs"
 	"repro/internal/ppfs"
+	"repro/internal/profiling"
 	"repro/internal/sddf"
 	"repro/internal/sim"
 )
@@ -63,9 +64,14 @@ func run(args []string, out io.Writer) error {
 	scrub := fs.Bool("scrub", false, "run the background scrubber on every I/O node (enables the checksum layer)")
 	deadline := fs.Float64("deadline", 0, "per-request deadline in seconds (enables the client reliability layer)")
 	retries := fs.Int("retries", 0, "max client retries after a corrupt read, >= 1 (0 uses the reliability layer's default)")
+	prof := profiling.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	var study core.Study
 	if *small {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	paperrepro [-app escat|render|htf] [-out DIR] [-no-figures]
+//	paperrepro [-app escat|render|htf] [-out DIR] [-no-figures] [-parallel N]
 package main
 
 import (
@@ -18,6 +18,8 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -33,20 +35,37 @@ func run(args []string, out io.Writer) error {
 	appFilter := fs.String("app", "", "run only this application (escat, render, htf)")
 	outDir := fs.String("out", "out", "directory for figure data and renderings")
 	noFigures := fs.Bool("no-figures", false, "skip writing figure files")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the application runs (0 = GOMAXPROCS); output is identical at any setting")
+	prof := profiling.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	exec.SetWorkers(*parallel)
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	apps := core.Apps()
 	if *appFilter != "" {
 		apps = []core.AppID{core.AppID(*appFilter)}
 	}
 
-	for _, app := range apps {
+	// The three paper-scale studies are independent simulations; fan them out
+	// and print in app order.
+	reports, err := exec.Map(apps, func(_ int, app core.AppID) (*core.Report, error) {
 		report, err := core.Run(core.PaperStudy(app))
 		if err != nil {
-			return fmt.Errorf("%s: %v", app, err)
+			return nil, fmt.Errorf("%s: %v", app, err)
 		}
+		return report, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	for i, app := range apps {
+		report := reports[i]
 		fmt.Fprintf(out, "==== %s (wall clock %.0f s, %d events) ====\n\n",
 			app, report.Wall.Seconds(), len(report.Events))
 

@@ -30,9 +30,11 @@ import (
 	"repro/internal/cache"
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/integrity"
 	"repro/internal/pfs"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 )
 
@@ -67,9 +69,16 @@ func run(args []string, out io.Writer) error {
 	retries := fs.Int("retries", 0, "max client retries after a corrupt read, >= 1 (0 uses the reliability layer's default)")
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting corruption (and scrubbing) after this many simulated seconds")
 	sweep := fs.String("sweep", "", "comma-separated checkpoint intervals to sweep (e.g. 0,1,2,4)")
+	parallel := fs.Int("parallel", 0, "worker goroutines for -sweep (0 = GOMAXPROCS); results are identical at any setting")
+	prof := profiling.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	exec.SetWorkers(*parallel)
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 
 	var study core.Study
 	if *small {

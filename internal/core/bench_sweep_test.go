@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// BenchmarkSweepCache runs the three-application cached-vs-uncached sweep at
+// small scale: six independent core.Run invocations per iteration.
+func BenchmarkSweepCache(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CacheSweep(true, cache.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCorruption runs the 3-app x 3-class corruption sweep at small
+// scale: nine independent core.Run invocations per iteration.
+func BenchmarkSweepCorruption(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CorruptionSweep(true, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cache"
+	"repro/internal/exec"
 	"repro/internal/iotrace"
 	"repro/internal/pablo"
 	"repro/internal/pfs"
@@ -55,22 +56,39 @@ func compare(name, op string, base, cached *Report, labels ...string) analysis.C
 // cache with pattern-driven prefetch serves well.
 func CacheSweep(small bool, ccfg cache.Config) ([]analysis.CacheComparison, error) {
 	ccfg.Enabled = true
-	var rows []analysis.CacheComparison
-	for _, app := range Apps() {
-		study := PaperStudy(app)
+	apps := Apps()
+	// One job per run — [app0 base, app0 cached, app1 base, ...] — so every
+	// simulation fans out on the executor; rows pair up afterwards.
+	type job struct {
+		app    AppID
+		cached bool
+	}
+	jobs := make([]job, 0, 2*len(apps))
+	for _, app := range apps {
+		jobs = append(jobs, job{app, false}, job{app, true})
+	}
+	reports, err := exec.Map(jobs, func(_ int, j job) (*Report, error) {
+		study := PaperStudy(j.app)
 		if small {
-			study = SmallStudy(app)
+			study = SmallStudy(j.app)
 		}
-		base, err := Run(study)
+		kind := "base"
+		if j.cached {
+			study.Machine.PFS.Cache = ccfg
+			kind = "cached"
+		}
+		r, err := Run(study)
 		if err != nil {
-			return nil, fmt.Errorf("cache sweep: %s base: %w", app, err)
+			return nil, fmt.Errorf("cache sweep: %s %s: %w", j.app, kind, err)
 		}
-		study.Machine.PFS.Cache = ccfg
-		cached, err := Run(study)
-		if err != nil {
-			return nil, fmt.Errorf("cache sweep: %s cached: %w", app, err)
-		}
-		rows = append(rows, compare(string(app), "Read", base, cached, "Read", "AsynchRead"))
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]analysis.CacheComparison, 0, len(apps))
+	for i, app := range apps {
+		rows = append(rows, compare(string(app), "Read", reports[2*i], reports[2*i+1], "Read", "AsynchRead"))
 	}
 	return rows, nil
 }
@@ -105,6 +123,77 @@ func syntheticReport(scfg workload.SyntheticConfig, pcfg pfs.Config) (*Report, e
 	}, nil
 }
 
+// modeCell is one row of a mode-by-mode comparison sweep: the workload plus
+// the summary labels its latency column reads.
+type modeCell struct {
+	name   string
+	op     string
+	labels []string
+	scfg   workload.SyntheticConfig
+}
+
+// modeCells builds the six per-mode synthetic workloads shared by the cache
+// and integrity mode sweeps.
+func modeCells() []modeCell {
+	modes := []iotrace.AccessMode{
+		iotrace.ModeUnix, iotrace.ModeLog, iotrace.ModeSync,
+		iotrace.ModeRecord, iotrace.ModeGlobal, iotrace.ModeAsync,
+	}
+	cells := make([]modeCell, 0, len(modes))
+	for _, mode := range modes {
+		cell := modeCell{
+			name:   mode.String(),
+			op:     "Write",
+			labels: []string{"Write"},
+			scfg: workload.SyntheticConfig{
+				Nodes:       8,
+				Mode:        mode,
+				RecordBytes: 4096,
+				Records:     32,
+			},
+		}
+		if mode == iotrace.ModeGlobal {
+			cell.op, cell.labels = "Read", []string{"Read"}
+		}
+		cells = append(cells, cell)
+	}
+	return cells
+}
+
+// runModePairs fans one syntheticReport job per (cell, config) out on the
+// executor — [cell0 base, cell0 alt, cell1 base, ...] — and returns the
+// reports paired by cell. sweep names the caller for error messages; altName
+// labels the second config ("cached", "verified").
+func runModePairs(sweep, altName string, cells []modeCell, base, alt pfs.Config) ([][2]*Report, error) {
+	type job struct {
+		cell modeCell
+		alt  bool
+	}
+	jobs := make([]job, 0, 2*len(cells))
+	for _, cell := range cells {
+		jobs = append(jobs, job{cell, false}, job{cell, true})
+	}
+	reports, err := exec.Map(jobs, func(_ int, j job) (*Report, error) {
+		pcfg, kind := base, "base"
+		if j.alt {
+			pcfg, kind = alt, altName
+		}
+		r, err := syntheticReport(j.cell.scfg, pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %s %s: %w", sweep, j.cell.name, kind, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([][2]*Report, len(cells))
+	for i := range cells {
+		pairs[i] = [2]*Report{reports[2*i], reports[2*i+1]}
+	}
+	return pairs, nil
+}
+
 // ModeCacheSweep compares cached against uncached runs of one synthetic
 // workload (eight nodes moving fixed records through a shared file) under
 // all six PFS access modes, plus a fully random read workload whose working
@@ -116,59 +205,34 @@ func ModeCacheSweep(ccfg cache.Config) ([]analysis.CacheComparison, error) {
 	cachedCfg := base
 	cachedCfg.Cache = ccfg
 
-	run := func(name, op string, scfg workload.SyntheticConfig, labels ...string) (analysis.CacheComparison, error) {
-		b, err := syntheticReport(scfg, base)
-		if err != nil {
-			return analysis.CacheComparison{}, fmt.Errorf("mode sweep: %s base: %w", name, err)
-		}
-		c, err := syntheticReport(scfg, cachedCfg)
-		if err != nil {
-			return analysis.CacheComparison{}, fmt.Errorf("mode sweep: %s cached: %w", name, err)
-		}
-		return compare(name, op, b, c, labels...), nil
-	}
-
-	var rows []analysis.CacheComparison
-	modes := []iotrace.AccessMode{
-		iotrace.ModeUnix, iotrace.ModeLog, iotrace.ModeSync,
-		iotrace.ModeRecord, iotrace.ModeGlobal, iotrace.ModeAsync,
-	}
-	for _, mode := range modes {
-		scfg := workload.SyntheticConfig{
-			Nodes:       8,
-			Mode:        mode,
-			RecordBytes: 4096,
-			Records:     32,
-		}
-		op, labels := "Write", []string{"Write"}
-		if mode == iotrace.ModeGlobal {
-			op, labels = "Read", []string{"Read"}
-		}
-		row, err := run(mode.String(), op, scfg, labels...)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-
+	cells := modeCells()
 	// Control: uniform random 64 KB reads over a working set two orders of
 	// magnitude beyond the per-node cache — every access misses, so the
 	// cached and uncached runs should be indistinguishable.
 	capBytes := ccfg.Normalized(base.StripeUnit).CapacityBytes
-	random := workload.SyntheticConfig{
-		Nodes:       8,
-		Mode:        iotrace.ModeAsync,
-		RecordBytes: 64 * 1024,
-		Records:     32,
-		Read:        true,
-		Random:      true,
-		Seed:        42,
-		FileBytes:   128 * capBytes,
-	}
-	row, err := run("random-read", "Read", random, "Read")
+	cells = append(cells, modeCell{
+		name:   "random-read",
+		op:     "Read",
+		labels: []string{"Read"},
+		scfg: workload.SyntheticConfig{
+			Nodes:       8,
+			Mode:        iotrace.ModeAsync,
+			RecordBytes: 64 * 1024,
+			Records:     32,
+			Read:        true,
+			Random:      true,
+			Seed:        42,
+			FileBytes:   128 * capBytes,
+		},
+	})
+
+	pairs, err := runModePairs("mode sweep", "cached", cells, base, cachedCfg)
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, row)
+	rows := make([]analysis.CacheComparison, 0, len(cells))
+	for i, cell := range cells {
+		rows = append(rows, compare(cell.name, cell.op, pairs[i][0], pairs[i][1], cell.labels...))
+	}
 	return rows, nil
 }

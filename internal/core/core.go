@@ -137,6 +137,11 @@ type Report struct {
 // appErr lets Run surface failures collected inside node programs.
 type appErr interface{ Err() error }
 
+// traceReserve is the initial keep-trace buffer capacity (events). Large
+// enough to skip the first ten append doublings, small enough (~90 KB of
+// Events) not to burden the many short runs inside a sweep.
+const traceReserve = 1024
+
 // runtime bundles everything one simulation attempt needs: the machine, the
 // instrumented file system stack, and the application.
 type runtime struct {
@@ -170,11 +175,15 @@ func prepare(s Study) (Study, *runtime, error) {
 		lifetime: pablo.NewLifetimeReducer(),
 		windows:  pablo.NewWindowReducer(s.WindowWidth),
 	}
+	// Even the small studies capture thousands of events; seeding the buffer
+	// skips the early growth reallocations on the per-event capture path.
+	rt.tracer.Reserve(traceReserve)
 	rt.tracer.Attach(rt.lifetime)
 	rt.tracer.Attach(rt.windows)
 
 	if s.Policy != nil {
 		rt.physTracer = pablo.NewTracer(s.KeepTrace)
+		rt.physTracer.Reserve(traceReserve)
 		m.PFS.SetRecorder(rt.physTracer)
 		rt.layer, err = ppfs.New(m.Eng, m.PFS, *s.Policy)
 		if err != nil {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/exec"
 )
 
 // CrossoverModel captures §7.2's recompute-versus-reread analysis for the
@@ -54,16 +56,18 @@ type CrossoverPoint struct {
 	ReadWins      bool
 }
 
-// Sweep evaluates the model across per-node I/O rates.
+// Sweep evaluates the model across per-node I/O rates. The points are
+// independent, so they ride the sweep executor like the simulation sweeps
+// (the closed-form math makes each point trivial, but the rate grids the
+// CLIs pass can be arbitrarily fine).
 func (m CrossoverModel) Sweep(rates []float64) []CrossoverPoint {
-	out := make([]CrossoverPoint, 0, len(rates))
 	rc := m.RecomputeTime()
-	for _, rate := range rates {
+	out, _ := exec.Map(rates, func(_ int, rate float64) (CrossoverPoint, error) {
 		rt := m.ReadTime(rate)
-		out = append(out, CrossoverPoint{
+		return CrossoverPoint{
 			IORate: rate, ReadTime: rt, RecomputeTime: rc, ReadWins: rt < rc,
-		})
-	}
+		}, nil
+	})
 	return out
 }
 

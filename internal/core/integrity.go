@@ -4,12 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/integrity"
-	"repro/internal/iotrace"
 	"repro/internal/pfs"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // sweepCorruptionPlan builds the single-class corruption plan one sweep cell
@@ -35,50 +34,56 @@ func sweepCorruptionPlan(class integrity.Class) fault.CorruptionPlan {
 // block. The sweep is deterministic: same seed, same rows.
 func CorruptionSweep(small bool, seed uint64) ([]analysis.CorruptionSweepRow, error) {
 	classes := []integrity.Class{integrity.BitRot, integrity.TornWrite, integrity.Misdirected}
-	var rows []analysis.CorruptionSweepRow
+	type cell struct {
+		app   AppID
+		class integrity.Class
+	}
+	var cells []cell
 	for _, app := range Apps() {
 		for _, class := range classes {
-			study := PaperStudy(app)
-			if small {
-				study = SmallStudy(app)
-			}
-			study.Machine.PFS.Integrity = integrity.Config{
-				Enabled: true,
-				Scrub: integrity.ScrubConfig{
-					Enabled:       true,
-					RateBytesPerS: 16 << 20,
-					Window:        60 * sim.Second,
-				},
-			}
-			// Unrepairable classes (torn, misdirected) need the replica path
-			// and the client's corrupt-read retries to survive the run.
-			fo := pfs.DefaultFailoverConfig()
-			fo.Replicate = true
-			study.Machine.PFS.Failover = fo
-			study.Machine.PFS.Reliability = pfs.DefaultReliabilityConfig()
-			study.Faults.Corruption = sweepCorruptionPlan(class)
-			study.FaultSeed = seed
-			r, err := Run(study)
-			if err != nil {
-				return nil, fmt.Errorf("corruption sweep: %s/%s: %w", app, class, err)
-			}
-			row := analysis.CorruptionSweepRow{App: string(app), Class: class}
-			if r.Integrity != nil {
-				for _, c := range r.Integrity.ByClass() {
-					if c.Class != class {
-						continue
-					}
-					row.Injected = c.Injected
-					row.Detected = c.Detected
-					row.Repaired = c.Repaired + c.Rewritten
-					row.Unrepairable = c.Unrepairable
-					row.Latent = c.Latent
-				}
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{app, class})
 		}
 	}
-	return rows, nil
+	return exec.Map(cells, func(_ int, c cell) (analysis.CorruptionSweepRow, error) {
+		study := PaperStudy(c.app)
+		if small {
+			study = SmallStudy(c.app)
+		}
+		study.Machine.PFS.Integrity = integrity.Config{
+			Enabled: true,
+			Scrub: integrity.ScrubConfig{
+				Enabled:       true,
+				RateBytesPerS: 16 << 20,
+				Window:        60 * sim.Second,
+			},
+		}
+		// Unrepairable classes (torn, misdirected) need the replica path
+		// and the client's corrupt-read retries to survive the run.
+		fo := pfs.DefaultFailoverConfig()
+		fo.Replicate = true
+		study.Machine.PFS.Failover = fo
+		study.Machine.PFS.Reliability = pfs.DefaultReliabilityConfig()
+		study.Faults.Corruption = sweepCorruptionPlan(c.class)
+		study.FaultSeed = seed
+		r, err := Run(study)
+		if err != nil {
+			return analysis.CorruptionSweepRow{}, fmt.Errorf("corruption sweep: %s/%s: %w", c.app, c.class, err)
+		}
+		row := analysis.CorruptionSweepRow{App: string(c.app), Class: c.class}
+		if r.Integrity != nil {
+			for _, cc := range r.Integrity.ByClass() {
+				if cc.Class != c.class {
+					continue
+				}
+				row.Injected = cc.Injected
+				row.Detected = cc.Detected
+				row.Repaired = cc.Repaired + cc.Rewritten
+				row.Unrepairable = cc.Unrepairable
+				row.Latent = cc.Latent
+			}
+		}
+		return row, nil
+	})
 }
 
 // ModeIntegritySweep measures the checksum layer's verify overhead under all
@@ -91,34 +96,18 @@ func ModeIntegritySweep(icfg integrity.Config) ([]analysis.IntegrityOverheadRow,
 	verCfg := base
 	verCfg.Integrity = icfg
 
-	var rows []analysis.IntegrityOverheadRow
-	modes := []iotrace.AccessMode{
-		iotrace.ModeUnix, iotrace.ModeLog, iotrace.ModeSync,
-		iotrace.ModeRecord, iotrace.ModeGlobal, iotrace.ModeAsync,
+	cells := modeCells()
+	pairs, err := runModePairs("integrity sweep", "verified", cells, base, verCfg)
+	if err != nil {
+		return nil, err
 	}
-	for _, mode := range modes {
-		scfg := workload.SyntheticConfig{
-			Nodes:       8,
-			Mode:        mode,
-			RecordBytes: 4096,
-			Records:     32,
-		}
-		op, labels := "Write", []string{"Write"}
-		if mode == iotrace.ModeGlobal {
-			op, labels = "Read", []string{"Read"}
-		}
-		b, err := syntheticReport(scfg, base)
-		if err != nil {
-			return nil, fmt.Errorf("integrity sweep: %s base: %w", mode, err)
-		}
-		v, err := syntheticReport(scfg, verCfg)
-		if err != nil {
-			return nil, fmt.Errorf("integrity sweep: %s verified: %w", mode, err)
-		}
-		bm, n := meanFor(b.Summary, labels...)
-		vm, _ := meanFor(v.Summary, labels...)
+	rows := make([]analysis.IntegrityOverheadRow, 0, len(cells))
+	for i, cell := range cells {
+		b, v := pairs[i][0], pairs[i][1]
+		bm, n := meanFor(b.Summary, cell.labels...)
+		vm, _ := meanFor(v.Summary, cell.labels...)
 		rows = append(rows, analysis.IntegrityOverheadRow{
-			Mode: mode.String(), Op: op, Ops: n,
+			Mode: cell.name, Op: cell.op, Ops: n,
 			BaseMean: bm, Verified: vm,
 			BaseWall: b.Wall, VerWall: v.Wall,
 		})

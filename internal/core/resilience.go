@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/exec"
 	"repro/internal/fault"
 )
 
@@ -72,21 +73,19 @@ func (rr *ResilientReport) Resilience() analysis.ResilienceReport {
 // (0 meaning no checkpoints) and collects the overhead-versus-lost-work
 // curve. Every run replays the same materialized fault schedule.
 func TradeoffSweep(rs ResilientStudy, intervals []int) ([]analysis.TradeoffPoint, error) {
-	pts := make([]analysis.TradeoffPoint, 0, len(intervals))
-	for _, iv := range intervals {
+	return exec.Map(intervals, func(_ int, iv int) (analysis.TradeoffPoint, error) {
 		r := rs
 		r.Ckpt.Interval = iv
 		rr, err := RunResilient(r)
 		if err != nil {
-			return nil, err
+			return analysis.TradeoffPoint{}, err
 		}
-		pts = append(pts, analysis.TradeoffPoint{
+		return analysis.TradeoffPoint{
 			Interval:    iv,
 			Checkpoints: rr.Ckpt.Checkpoints,
 			Overhead:    rr.Ckpt.Overhead,
 			LostWork:    rr.LostWork,
 			Wall:        rr.Wall,
-		})
-	}
-	return pts, nil
+		}, nil
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/apps/escat"
+	"repro/internal/exec"
 	"repro/internal/sim"
 )
 
@@ -23,8 +24,7 @@ type ScalingPoint struct {
 // processors" and §8's warning that small-request patterns do not ride the
 // hardware's parallelism.
 func ESCATScaling(nodeCounts []int, iterations int) ([]ScalingPoint, error) {
-	var out []ScalingPoint
-	for _, n := range nodeCounts {
+	return exec.Map(nodeCounts, func(_ int, n int) (ScalingPoint, error) {
 		cfg := escat.DefaultConfig()
 		cfg.Nodes = n
 		cfg.Iterations = iterations
@@ -35,7 +35,7 @@ func ESCATScaling(nodeCounts []int, iterations int) ([]ScalingPoint, error) {
 		study.Machine.ComputeNodes = n
 		r, err := Run(study)
 		if err != nil {
-			return nil, fmt.Errorf("scaling at %d nodes: %w", n, err)
+			return ScalingPoint{}, fmt.Errorf("scaling at %d nodes: %w", n, err)
 		}
 		pt := ScalingPoint{Nodes: n, Wall: r.Wall, IOTime: r.Summary.Total.NodeTime}
 		if w := r.Summary.Row("Write"); w != nil {
@@ -44,9 +44,8 @@ func ESCATScaling(nodeCounts []int, iterations int) ([]ScalingPoint, error) {
 		if s := r.Summary.Row("Seek"); s != nil {
 			pt.SeekWrite += s.NodeTime
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // RenderScaling formats a scaling sweep.

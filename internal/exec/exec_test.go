@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapNPreservesSubmissionOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 200} {
+		got, err := MapN(workers, items, func(i, item int) (int, error) {
+			if i != item {
+				t.Errorf("index %d got item %d", i, item)
+			}
+			return item * item, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapNEmpty(t *testing.T) {
+	got, err := MapN(4, nil, func(i, item int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+// The error returned must be the lowest-index failure — what a sequential
+// loop would have surfaced — regardless of completion order.
+func TestMapNLowestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4, 8} {
+		_, err := MapN(workers, items, func(i, item int) (int, error) {
+			if item >= 3 {
+				// Later failures finish first.
+				time.Sleep(time.Duration(8-item) * time.Millisecond)
+				return 0, fmt.Errorf("item %d failed", item)
+			}
+			return item, nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want item 3's error", workers, err)
+		}
+	}
+}
+
+func TestMapNBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	items := make([]int, 64)
+	_, err := MapN(workers, items, func(i, item int) (int, error) {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+		inFlight.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestWorkersDefaultAndOverride(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(0)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetWorkers(5)
+	if got := Workers(); got != 5 {
+		t.Fatalf("overridden workers = %d, want 5", got)
+	}
+	SetWorkers(-3)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative override should restore default, got %d", got)
+	}
+}
+
+// Map results must be identical at every worker count — the executor-level
+// half of the sweep determinism guarantee.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer SetWorkers(0)
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i
+	}
+	run := func(workers int) []int {
+		SetWorkers(workers)
+		got, err := Map(items, func(i, item int) (int, error) {
+			return 31*item + i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMapNSingleWorkerStopsAtFirstError(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	_, err := MapN(1, []int{0, 1, 2}, func(i, item int) (int, error) {
+		calls.Add(1)
+		if item == 1 {
+			return 0, boom
+		}
+		return item, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("sequential path ran %d items, want 2 (stop at first error)", calls.Load())
+	}
+}

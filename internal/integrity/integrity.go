@@ -148,7 +148,16 @@ type Store struct {
 	blocks map[int64]*blockSum
 	inj    *injection
 
+	// written lists every block index in blocks. Indices mostly arrive in
+	// ascending order (sequential writes), so creation appends and marks the
+	// list dirty only on out-of-order arrival; ordered consumers re-sort
+	// lazily via sortedWritten. This keeps the scrubber's per-slice cost at a
+	// binary search instead of a full map scan and sort.
+	written  []int64
+	unsorted bool
+
 	scrubCursor int64
+	scrubBuf    []int64 // reusable slice handed out by ScrubNext
 
 	events []Event
 	s      Stats
@@ -184,6 +193,26 @@ func (st *Store) VerifyCost(bytes int64) sim.Time {
 func (st *Store) span(addr, n int64) (first, last int64) {
 	bs := st.cfg.BlockBytes
 	return addr / bs, (addr + n - 1) / bs
+}
+
+// track records a newly created block index. Must be called exactly once per
+// index, when it first enters st.blocks.
+func (st *Store) track(idx int64) {
+	if n := len(st.written); n > 0 && idx < st.written[n-1] {
+		st.unsorted = true
+	}
+	st.written = append(st.written, idx)
+}
+
+// sortedWritten returns the ascending list of every written block index,
+// re-sorting in place only when out-of-order creations have landed since the
+// last ordered read. Callers must not hold the slice across simulated time.
+func (st *Store) sortedWritten() []int64 {
+	if st.unsorted {
+		sort.Slice(st.written, func(i, j int) bool { return st.written[i] < st.written[j] })
+		st.unsorted = false
+	}
+	return st.written
 }
 
 // Arm installs the seeded write-path corruption policy (torn and misdirected
@@ -232,6 +261,7 @@ func (st *Store) writeBlock(now sim.Time, idx int64) {
 	if b == nil {
 		b = &blockSum{}
 		st.blocks[idx] = b
+		st.track(idx)
 	}
 	if b.corrupt() {
 		st.resolve(now, b, ResRewritten)
@@ -243,33 +273,37 @@ func (st *Store) writeBlock(now sim.Time, idx int64) {
 // pickVictim selects a deterministic random resident block outside
 // [first, last] as a misdirected write's landing site.
 func (st *Store) pickVictim(first, last int64) (int64, bool) {
-	var cands []int64
-	for idx := range st.blocks {
-		if idx < first || idx > last {
-			cands = append(cands, idx)
-		}
-	}
-	if len(cands) == 0 {
+	// Candidates are the written blocks outside [first, last]: the ascending
+	// list with the span [lo, hi) cut out. Indexing around the gap draws the
+	// same victim the explicit filtered-and-sorted copy used to.
+	all := st.sortedWritten()
+	lo := sort.Search(len(all), func(k int) bool { return all[k] >= first })
+	hi := sort.Search(len(all), func(k int) bool { return all[k] > last })
+	n := len(all) - (hi - lo)
+	if n == 0 {
 		return 0, false
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
-	return cands[st.inj.rng.Intn(len(cands))], true
+	k := st.inj.rng.Intn(n)
+	if k < lo {
+		return all[k], true
+	}
+	return all[k-lo+hi], true
 }
 
 // InjectBitRot corrupts one uniformly chosen resident non-corrupt block with
 // bit-rot; it reports whether a victim existed. Driven by the fault
 // injector's per-node exponential arrival process.
 func (st *Store) InjectBitRot(now sim.Time, rng *sim.RNG) bool {
-	var cands []int64
-	for idx, b := range st.blocks {
-		if !b.corrupt() {
+	all := st.sortedWritten()
+	cands := make([]int64, 0, len(all))
+	for _, idx := range all {
+		if !st.blocks[idx].corrupt() {
 			cands = append(cands, idx)
 		}
 	}
 	if len(cands) == 0 {
 		return false
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 	st.corruptBlock(now, cands[rng.Intn(len(cands))], BitRot, false)
 	return true
 }
@@ -288,6 +322,7 @@ func (st *Store) MarkCorrupt(now sim.Time, addr, n int64, class Class) {
 		if b == nil {
 			b = &blockSum{sum: Checksum(idx, 0)}
 			st.blocks[idx] = b
+			st.track(idx)
 		}
 		if b.corrupt() {
 			continue
@@ -302,6 +337,7 @@ func (st *Store) corruptBlock(now sim.Time, idx int64, class Class, carried bool
 	if b == nil {
 		b = &blockSum{sum: Checksum(idx, 0)}
 		st.blocks[idx] = b
+		st.track(idx)
 	}
 	if b.corrupt() {
 		// One corruption at a time per block: the first is still latent and
@@ -413,23 +449,22 @@ func (st *Store) ScrubNext(max int) (idxs []int64, wrapped bool) {
 	if max <= 0 || len(st.blocks) == 0 {
 		return nil, false
 	}
-	all := make([]int64, 0, len(st.blocks))
-	for idx := range st.blocks {
-		if idx >= st.scrubCursor {
-			all = append(all, idx)
-		}
-	}
-	if len(all) == 0 {
+	all := st.sortedWritten()
+	i := sort.Search(len(all), func(k int) bool { return all[k] >= st.scrubCursor })
+	if i == len(all) {
 		st.scrubCursor = 0
 		st.s.ScrubPasses++
 		return nil, true
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	if len(all) > max {
-		all = all[:max]
+	j := i + max
+	if j > len(all) {
+		j = len(all)
 	}
-	st.scrubCursor = all[len(all)-1] + 1
-	return all, false
+	st.scrubCursor = all[j-1] + 1
+	// Copy into the reusable buffer: the caller iterates the slice across
+	// simulated time, during which new writes may dirty and re-sort written.
+	st.scrubBuf = append(st.scrubBuf[:0], all[i:j]...)
+	return st.scrubBuf, false
 }
 
 // ScrubCheck verifies one block on behalf of the scrubber and reports
@@ -486,12 +521,7 @@ func (st *Store) VerifyExtent(now sim.Time, addr, n int64, by string) bool {
 // Parity-repairable blocks are repaired (when the array still has parity);
 // the rest stay open — the unrepairable count of the report.
 func (st *Store) Audit(now sim.Time, degraded bool) {
-	idxs := make([]int64, 0, len(st.blocks))
-	for idx := range st.blocks {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	for _, idx := range idxs {
+	for _, idx := range st.sortedWritten() {
 		b := st.blocks[idx]
 		if b.sum == Checksum(idx, b.version) {
 			continue
@@ -515,15 +545,10 @@ type CorruptBlock struct {
 // ascending order.
 func (st *Store) CorruptBlocks() []CorruptBlock {
 	var out []CorruptBlock
-	idxs := make([]int64, 0, len(st.blocks))
-	for idx := range st.blocks {
-		if st.blocks[idx].corrupt() {
-			idxs = append(idxs, idx)
+	for _, idx := range st.sortedWritten() {
+		if b := st.blocks[idx]; b.corrupt() {
+			out = append(out, CorruptBlock{Block: idx, Class: b.class})
 		}
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	for _, idx := range idxs {
-		out = append(out, CorruptBlock{Block: idx, Class: st.blocks[idx].class})
 	}
 	return out
 }

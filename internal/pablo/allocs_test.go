@@ -1,0 +1,45 @@
+package pablo
+
+import (
+	"testing"
+
+	"repro/internal/iotrace"
+)
+
+// TestRecordAllocCeiling guards the keep-trace append path: once the event
+// buffer has been Reserved, Record must append without allocating.
+func TestRecordAllocCeiling(t *testing.T) {
+	const runs = 4096
+	tr := NewTracer(true)
+	tr.Reserve(runs + 1)
+	ev := iotrace.Event{Op: iotrace.OpWrite, Bytes: 4096}
+	avg := testing.AllocsPerRun(runs, func() {
+		tr.Record(ev)
+	})
+	if avg != 0 {
+		t.Fatalf("Record allocated %.2f times per event with reserved capacity; want 0", avg)
+	}
+}
+
+// TestNewTracerSized checks that the sized constructor pre-reserves and that
+// Reserve preserves already-captured events.
+func TestNewTracerSized(t *testing.T) {
+	tr := NewTracerSized(128)
+	for i := 0; i < 100; i++ {
+		tr.Record(iotrace.Event{Op: iotrace.OpRead, Bytes: int64(i)})
+	}
+	tr.Reserve(4096)
+	if got := tr.Len(); got != 100 {
+		t.Fatalf("Len after Reserve = %d, want 100", got)
+	}
+	if tr.Events()[99].Bytes != 99 {
+		t.Fatalf("events reshuffled by Reserve")
+	}
+	// Reduction-only tracers must stay nil-buffered.
+	off := NewTracer(false)
+	off.Reserve(1024)
+	off.Record(iotrace.Event{Op: iotrace.OpRead})
+	if off.Events() != nil {
+		t.Fatalf("reduction-only tracer buffered events after Reserve")
+	}
+}

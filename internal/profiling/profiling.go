@@ -1,0 +1,72 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile flags
+// into the CLIs, so hot-path work on the engine and the sweeps can be
+// measured on the real binaries, not only through go test.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags carries the profile destinations parsed from a FlagSet.
+type Flags struct {
+	CPU string
+	Mem string
+
+	cpuFile *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs and returns the
+// struct the parsed values land in.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	p := &Flags{}
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Pair with a
+// deferred Stop.
+func (p *Flags) Start() error {
+	if p.CPU == "" {
+		return nil
+	}
+	f, err := os.Create(p.CPU)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and, when -memprofile was given, writes the
+// heap profile after a final GC. Safe to call when Start did nothing.
+func (p *Flags) Stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if p.Mem == "" {
+		return nil
+	}
+	f, err := os.Create(p.Mem)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEventLoopAllocCeiling guards the hot-path optimizations: the
+// schedule/pop/handoff cycle must not allocate per event. Before the value-type
+// 4-ary heap and the process free list this workload allocated ~26k times per
+// simulation (roughly 2/event); now the total is dominated by the fixed
+// per-process setup (goroutine, channel, name), so the ceiling is a small
+// multiple of the process count, not the event count.
+func TestEventLoopAllocCeiling(t *testing.T) {
+	const procs, sleeps = 64, 200 // 12800 events per run
+	names := make([]string, procs)
+	for j := range names {
+		names[j] = fmt.Sprintf("p%d", j)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		e := NewEngine()
+		for j := 0; j < procs; j++ {
+			j := j
+			e.Spawn(names[j], func(p *Process) {
+				for k := 0; k < sleeps; k++ {
+					p.Sleep(Time(j+1) * Microsecond)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Error(err)
+		}
+	})
+	// 64 processes × a handful of setup allocations each, plus slack for heap
+	// growth. 12800 events at even 0.25 allocs/event would blow through this.
+	const ceiling = 1500
+	if avg > ceiling {
+		t.Fatalf("event loop allocated %.0f times per run (%d events); ceiling %d",
+			avg, procs*sleeps, ceiling)
+	}
+}
+
+// TestSequentialChainAllocCeiling pins the uncontended fast path — a lone
+// process sleeping when its own wake is the next event — at effectively zero
+// allocations per event.
+func TestSequentialChainAllocCeiling(t *testing.T) {
+	const sleeps = 10000
+	avg := testing.AllocsPerRun(5, func() {
+		e := NewEngine()
+		e.Spawn("solo", func(p *Process) {
+			for k := 0; k < sleeps; k++ {
+				p.Sleep(Microsecond)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Error(err)
+		}
+	})
+	// One process's setup plus heap-slice growth: tens, not thousands.
+	const ceiling = 64
+	if avg > ceiling {
+		t.Fatalf("sequential chain allocated %.0f times per run (%d events); ceiling %d",
+			avg, sleeps, ceiling)
+	}
+}

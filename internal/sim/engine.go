@@ -6,18 +6,27 @@
 // application skeletons all run as sim processes against one virtual clock.
 //
 // Concurrency model: processes are goroutines, but they execute in strict
-// lock-step with the engine — exactly one goroutine (either the engine or a
-// single process) runs at any instant. A process runs until it blocks on a
-// simulation primitive (Sleep, Park, Resource.Acquire, Barrier.Wait, ...),
-// which hands control back to the engine; the engine then pops the next event
-// from a stable priority queue (ordered by time, then by schedule sequence
-// number) and resumes the corresponding process. Because scheduling order is
-// a pure function of the event heap contents, identical inputs produce
-// identical traces, bit for bit.
+// lock-step — exactly one goroutine (the engine or a single process) runs at
+// any instant. A process runs until it blocks on a simulation primitive
+// (Sleep, Park, Resource.Acquire, Barrier.Wait, ...); the next event is then
+// popped from a stable priority queue (ordered by time, then by schedule
+// sequence number) and the corresponding process resumed. Because scheduling
+// order is a pure function of the event queue contents, identical inputs
+// produce identical traces, bit for bit.
+//
+// Hot-path design: the event queue is an inlined 4-ary min-heap specialized
+// to the event struct — no interface boxing, no per-event allocation once the
+// backing array has grown. Control transfers are direct: a blocking process
+// runs the dispatch loop itself (Engine.advance) and resumes the next due
+// process with a single channel handoff, without bouncing through the engine
+// goroutine; when its own wake-up is the next event it simply keeps running.
+// The engine goroutine is only woken when no process is runnable (queue
+// drained, run limit reached, Stop, or deadlock). Dispatch runs the same
+// advance() whoever holds control, so the executed event order is identical
+// to the classic two-handoff engine loop.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,18 +37,21 @@ import (
 // usable; call NewEngine.
 type Engine struct {
 	now    Time
-	events eventHeap
+	events eventQueue
 	seq    uint64 // monotonically increasing schedule sequence, breaks ties
 	nextID int
 
-	living  int // processes spawned and not yet finished
+	living  int
 	stopped bool
-	procs   map[int]*Process // live processes, for deadlock diagnostics
+	limit   Time          // active RunUntil horizon (< 0: none); gates in-place resumes
+	wake    chan struct{} // signals the engine goroutine that no process is runnable
+	procs   []*Process    // live processes, for deadlock diagnostics
+	free    []*Process    // finished processes whose struct and channels are reusable
 }
 
 // NewEngine returns an engine with the clock at time zero and no processes.
 func NewEngine() *Engine {
-	return &Engine{procs: make(map[int]*Process)}
+	return &Engine{limit: -1, wake: make(chan struct{})}
 }
 
 // Now reports the current simulated time.
@@ -52,19 +64,77 @@ type event struct {
 	p   *Process
 }
 
-// eventHeap is a min-heap of events ordered by (time, sequence).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// before is the queue's strict total order: time, then schedule sequence.
+// Sequences are unique, so no two distinct events compare equal and the pop
+// order is fully determined by the queue contents.
+func (ev event) before(o event) bool {
+	return ev.at < o.at || (ev.at == o.at && ev.seq < o.seq)
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+
+// eventQueue is a 4-ary min-heap of events ordered by (time, sequence). It
+// is specialized to the event type: push and pop move values within one
+// backing slice, so the steady-state event loop performs zero allocations —
+// unlike container/heap, whose interface methods box every element through
+// `any` on the way in and out. The higher arity halves the tree depth, which
+// matters because pops (the sift-down path) dominate a simulation's queue
+// traffic.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// push inserts ev, sifting the hole up toward the root.
+func (q *eventQueue) push(ev event) {
+	q.ev = append(q.ev, ev)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !ev.before(q.ev[parent]) {
+			break
+		}
+		q.ev[i] = q.ev[parent]
+		i = parent
+	}
+	q.ev[i] = ev
+}
+
+// pop removes and returns the minimum event, sifting the displaced tail
+// element down from the root.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	last := q.ev[n]
+	q.ev[n] = event{} // drop the *Process reference for the collector
+	q.ev = q.ev[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for k := c + 1; k < end; k++ {
+				if q.ev[k].before(q.ev[min]) {
+					min = k
+				}
+			}
+			if !q.ev[min].before(last) {
+				break
+			}
+			q.ev[i] = q.ev[min]
+			i = min
+		}
+		q.ev[i] = last
+	}
+	return top
+}
+
 func (e *Engine) schedule(p *Process, at Time) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q in the past (%v < %v)", p.name, at, e.now))
@@ -72,9 +142,14 @@ func (e *Engine) schedule(p *Process, at Time) {
 	if p.pendingWake {
 		panic(fmt.Sprintf("sim: process %q woken twice", p.name))
 	}
+	if p.done {
+		// The process finished and may already have been reissued to a new
+		// Spawn; a wake here means some primitive still believes it owns it.
+		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
+	}
 	p.pendingWake = true
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, p: p})
+	e.events.push(event{at: at, seq: e.seq, p: p})
 }
 
 // Spawn creates a new process named name executing fn and schedules it to
@@ -85,49 +160,93 @@ func (e *Engine) Spawn(name string, fn func(p *Process)) *Process {
 }
 
 // SpawnAt creates a new process that starts after the given delay from the
-// current simulated time.
+// current simulated time. Process structs and their handoff channels are
+// recycled from finished processes when possible; only the goroutine itself
+// is created fresh per spawn.
 func (e *Engine) SpawnAt(name string, delay Time, fn func(p *Process)) *Process {
 	if delay < 0 {
 		panic("sim: negative spawn delay")
 	}
 	e.nextID++
-	p := &Process{
-		eng:    e,
-		id:     e.nextID,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+	var p *Process
+	if n := len(e.free); n > 0 {
+		p = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		p.done = false
+	} else {
+		p = &Process{
+			eng:    e,
+			resume: make(chan struct{}),
+		}
 	}
+	p.id = e.nextID
+	p.name = name
 	e.living++
-	e.procs[p.id] = p
-	go func() {
-		<-p.resume // wait for the engine to start us
-		defer func() {
-			if r := recover(); r != nil {
-				// A real fault: crash loudly rather than yielding, so the
-				// runtime reports the panic with this goroutine's stack.
-				panic(r)
-			}
-			// Normal return, or runtime.Goexit (e.g. t.Fatal inside a
-			// process during tests): terminate the process cleanly so the
-			// engine keeps running.
-			p.done = true
-			p.yield <- struct{}{}
-		}()
-		fn(p)
-	}()
+	p.procIdx = len(e.procs)
+	e.procs = append(e.procs, p)
+	go p.top(fn)
 	e.schedule(p, e.now+delay)
 	return p
 }
 
-// step resumes process p and blocks until it yields control back.
-func (e *Engine) step(p *Process) {
-	p.resume <- struct{}{}
-	<-p.yield
-	if p.done {
-		e.living--
-		delete(e.procs, p.id)
+// advance pops events until it finds a process to run, advancing the clock
+// and discarding stale wakes of finished processes along the way. It returns
+// nil when control belongs to the engine goroutine instead: queue drained,
+// run limit reached, or Stop called. Both the engine loop and blocking
+// processes dispatch through advance, so the executed event order is the
+// same regardless of which goroutine runs it.
+func (e *Engine) advance() *Process {
+	for !e.stopped && e.events.len() > 0 {
+		if e.limit >= 0 && e.events.ev[0].at > e.limit {
+			return nil
+		}
+		ev := e.events.pop()
+		if ev.p.done {
+			// Stale event for a finished process. Now that it has left the
+			// queue nothing references the process, so it can be reused.
+			ev.p.pendingWake = false
+			e.recycle(ev.p)
+			continue
+		}
+		e.now = ev.at
+		ev.p.pendingWake = false
+		return ev.p
 	}
+	return nil
+}
+
+// dispatch hands control to next, or back to the engine goroutine when next
+// is nil. Called by a process that is about to stop running (blocking or
+// finishing); the caller must not touch engine state afterwards.
+func (e *Engine) dispatch(next *Process) {
+	if next != nil {
+		next.resume <- struct{}{}
+	} else {
+		e.wake <- struct{}{}
+	}
+}
+
+// unregister removes a finished process from the live-process list
+// (swap-remove; the list is unordered and only read by the deadlock
+// diagnostic, which sorts on the failure path).
+func (e *Engine) unregister(p *Process) {
+	last := len(e.procs) - 1
+	e.procs[p.procIdx] = e.procs[last]
+	e.procs[p.procIdx].procIdx = p.procIdx
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
+}
+
+// recycle returns a finished process's struct and channels to the spawn free
+// list. A process with a wake still pending has a stale event in the queue
+// referencing it; it is recycled when that event pops instead, so a reused
+// struct can never be resumed by a dead process's event.
+func (e *Engine) recycle(p *Process) {
+	if p.pendingWake {
+		return
+	}
+	e.free = append(e.free, p)
 }
 
 // Run executes events until the event queue drains or Stop is called. It
@@ -141,22 +260,19 @@ func (e *Engine) Run() error {
 // limit). Events beyond the limit stay queued, so the simulation can be
 // resumed with a later call.
 func (e *Engine) RunUntil(limit Time) error {
-	for len(e.events) > 0 && !e.stopped {
-		if limit >= 0 && e.events[0].at > limit {
-			return nil
-		}
-		ev := heap.Pop(&e.events).(event)
-		if ev.p.done {
-			continue // stale event for a finished process
-		}
-		e.now = ev.at
-		ev.p.pendingWake = false
-		e.step(ev.p)
+	e.limit = limit
+	// Hand control to the first runnable process; it and its successors pass
+	// control among themselves directly (see Process.block), and the engine
+	// goroutine sleeps until a process finds nothing left to run.
+	if next := e.advance(); next != nil {
+		next.resume <- struct{}{}
+		<-e.wake
 	}
+	e.limit = -1
 	if e.stopped {
 		return nil
 	}
-	if e.living > 0 {
+	if e.living > 0 && e.events.len() == 0 {
 		return e.deadlockError()
 	}
 	return nil
@@ -174,17 +290,30 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // Living reports the number of processes spawned and not yet finished.
 func (e *Engine) Living() int { return e.living }
 
+// deadlockError builds the blocked-process listing. It runs only on the
+// failure path, so healthy runs never pay for the copy, sort, or formatting.
 func (e *Engine) deadlockError() error {
-	names := make([]string, 0, len(e.procs))
-	for _, p := range e.procs {
-		names = append(names, fmt.Sprintf("%s(id=%d,%s)", p.name, p.id, p.blockedOn))
-	}
-	sort.Strings(names)
+	blocked := make([]*Process, len(e.procs))
+	copy(blocked, e.procs)
+	sort.Slice(blocked, func(i, j int) bool {
+		if blocked[i].name != blocked[j].name {
+			return blocked[i].name < blocked[j].name
+		}
+		return blocked[i].id < blocked[j].id
+	})
 	const max = 12
-	shown := names
+	shown := blocked
 	if len(shown) > max {
 		shown = shown[:max]
 	}
-	return fmt.Errorf("sim: deadlock at %v: %d processes blocked forever: %s",
-		e.now, e.living, strings.Join(shown, ", "))
+	parts := make([]string, len(shown))
+	for i, p := range shown {
+		parts[i] = fmt.Sprintf("%s(id=%d,%s)", p.name, p.id, p.blockedOn)
+	}
+	suffix := ""
+	if len(blocked) > max {
+		suffix = fmt.Sprintf(", ... (%d more)", len(blocked)-max)
+	}
+	return fmt.Errorf("sim: deadlock at %v: %d processes blocked forever: %s%s",
+		e.now, e.living, strings.Join(parts, ", "), suffix)
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -461,5 +462,56 @@ func TestRNGJitterStaysClose(t *testing.T) {
 	}
 	if r.Jitter(base, 0) != base {
 		t.Fatal("zero jitter changed value")
+	}
+}
+
+// TestDeadlockDiagnosticListing exercises the failure-path diagnostic: the
+// blocked processes must be listed sorted by name (id as tiebreak) with their
+// wait reasons, and the listing truncated past twelve entries.
+func TestDeadlockDiagnosticListing(t *testing.T) {
+	e := NewEngine()
+	// Spawn in an order that is neither name- nor id-sorted so the test fails
+	// if the diagnostic just dumps the live-process slice.
+	names := []string{"m", "c", "z", "f", "a", "q", "t", "b", "k", "x", "d", "h", "p", "e", "g"}
+	for _, name := range names {
+		name := name
+		e.Spawn(name, func(p *Process) {
+			p.Park("waiting-" + name)
+		})
+	}
+	err := e.Run()
+	if err == nil {
+		t.Fatal("want deadlock error, got nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "15 processes blocked forever") {
+		t.Fatalf("missing blocked count: %v", msg)
+	}
+	// Sorted, the first twelve of the 15 names are a..p; q, t, x fall off the
+	// end, so the truncation suffix must report 3 more.
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	var last int
+	for _, name := range sorted[:12] {
+		want := name + "(id="
+		i := strings.Index(msg, want)
+		if i < 0 {
+			t.Fatalf("diagnostic missing %q: %v", want, msg)
+		}
+		if i < last {
+			t.Fatalf("diagnostic out of name order at %q: %v", name, msg)
+		}
+		last = i
+	}
+	for _, name := range sorted[12:] {
+		if strings.Contains(msg, name+"(id=") {
+			t.Fatalf("diagnostic shows truncated process %q: %v", name, msg)
+		}
+	}
+	if !strings.Contains(msg, "waiting-a") {
+		t.Fatalf("diagnostic missing wait reason: %v", msg)
+	}
+	if !strings.Contains(msg, "... (3 more)") {
+		t.Fatalf("diagnostic missing truncation suffix: %v", msg)
 	}
 }

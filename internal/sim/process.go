@@ -7,17 +7,45 @@ import "fmt"
 // A Process must only be used from its own goroutine (inside the fn passed to
 // Spawn); the lock-step scheduler guarantees no two processes ever run
 // concurrently.
+//
+// The struct and its handoff channels outlive the process: when a process
+// finishes, the engine parks them on a free list and reissues them to a
+// later Spawn, so process churn costs one goroutine, not a goroutine plus
+// three heap objects.
 type Process struct {
 	eng  *Engine
 	id   int
 	name string
 
 	resume chan struct{}
-	yield  chan struct{}
 
+	procIdx     int // index in the engine's live-process list
 	done        bool
 	pendingWake bool
 	blockedOn   string // diagnostic: what primitive the process is parked in
+}
+
+// top is the body of a process goroutine: wait to be started, run fn, and
+// terminate cleanly.
+func (p *Process) top(fn func(p *Process)) {
+	<-p.resume // wait for the scheduler to start us
+	defer func() {
+		if r := recover(); r != nil {
+			// A real fault: crash loudly rather than dispatching, so the
+			// runtime reports the panic with this goroutine's stack.
+			panic(r)
+		}
+		// Normal return, or runtime.Goexit (e.g. t.Fatal inside a process
+		// during tests): retire the process and hand control to whoever is
+		// due next so the simulation keeps running.
+		p.done = true
+		e := p.eng
+		e.living--
+		e.unregister(p)
+		e.recycle(p)
+		e.dispatch(e.advance())
+	}()
+	fn(p)
 }
 
 // Name returns the process name given at Spawn.
@@ -32,10 +60,21 @@ func (p *Process) Engine() *Engine { return p.eng }
 // Now reports the current simulated time.
 func (p *Process) Now() Time { return p.eng.now }
 
-// block yields control to the engine and waits to be resumed.
+// block suspends the process until its next wake event pops. The blocking
+// process dispatches its successor itself: it runs the engine's advance loop
+// and resumes the next due process with a single direct channel handoff —
+// the engine goroutine stays asleep. When the next due event is the caller's
+// own wake-up, block returns without any handoff at all.
 func (p *Process) block(why string) {
 	p.blockedOn = why
-	p.yield <- struct{}{}
+	e := p.eng
+	next := e.advance()
+	if next == p {
+		// Our own wake-up is the next event; keep running in place.
+		p.blockedOn = ""
+		return
+	}
+	e.dispatch(next)
 	<-p.resume
 	p.blockedOn = ""
 }
@@ -43,11 +82,29 @@ func (p *Process) block(why string) {
 // Sleep advances this process's local activity by d: it blocks and resumes
 // once the simulated clock has advanced by d. Sleeping for zero time yields
 // to other processes scheduled at the same instant.
+//
+// Fast path: when this process's own wake-up is the head of the queue
+// (nothing else is due at or before it) and lies within the engine's run
+// horizon, the process pops its event, advances the clock, and keeps running
+// — no dispatch loop, no handoff. The popped event is exactly the one
+// advance would have popped, so scheduling order, tie-breaking, and the
+// clock are bit-identical to the general path.
 func (p *Process) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v in %q", d, p.name))
 	}
-	p.eng.schedule(p, p.eng.now+d)
+	e := p.eng
+	at := e.now + d
+	e.schedule(p, at)
+	if !e.stopped && (e.limit < 0 || at <= e.limit) && e.events.ev[0].p == p {
+		// A process has at most one pending event (double wakes panic), so
+		// the queue head being ours means our fresh wake is the strict
+		// minimum.
+		e.events.pop()
+		p.pendingWake = false
+		e.now = at
+		return
+	}
 	p.block("sleep")
 }
 
