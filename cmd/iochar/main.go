@@ -7,6 +7,7 @@
 //
 //	iochar -app escat [-small] [-policy none|ppfs|adaptive]
 //	       [-cache] [-cache-mb MB] [-prefetch=false]
+//	       [-collective] [-aggregators N] [-sched cscan]
 //	       [-trace FILE] [-trace-ascii] [-window SECONDS] [-figures DIR]
 //	       [-mtbf SECONDS -seed N]
 //	       [-corrupt all|bit-rot,torn-write,misdirected-write] [-scrub]
@@ -22,10 +23,9 @@ import (
 	"path/filepath"
 
 	"repro/internal/analysis"
-	"repro/internal/cache"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/integrity"
 	"repro/internal/iotrace"
 	"repro/internal/pfs"
 	"repro/internal/ppfs"
@@ -53,17 +53,13 @@ func run(args []string, out io.Writer) error {
 	jsonFile := fs.String("json", "", "write the characterization results as JSON to this file")
 	window := fs.Float64("window", 10, "time-window reduction width in seconds")
 	figures := fs.String("figures", "", "write figure CSV/ASCII files to this directory")
-	cacheOn := fs.Bool("cache", false, "attach a block cache with pattern-driven prefetch to every I/O node")
-	cacheMB := fs.Float64("cache-mb", 8, "per-node cache capacity in MB (with -cache)")
-	prefetch := fs.Bool("prefetch", true, "enable pattern-driven prefetch (with -cache)")
+	cacheFlags := cliflags.AddCache(fs)
+	collFlags := cliflags.AddCollective(fs)
 	mtbf := fs.Float64("mtbf", 0, "inject I/O-node outages with this exponential mean time between failures in seconds (0 = none)")
 	outage := fs.Float64("outage", 5, "duration in seconds of each injected outage")
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting faults after this many simulated seconds")
 	seed := fs.Uint64("seed", 0, "seed for the injected-fault schedule")
-	corrupt := fs.String("corrupt", "", "inject silent data corruption: comma-separated classes (bit-rot, torn-write, misdirected-write) or 'all'; enables the checksum layer")
-	scrub := fs.Bool("scrub", false, "run the background scrubber on every I/O node (enables the checksum layer)")
-	deadline := fs.Float64("deadline", 0, "per-request deadline in seconds (enables the client reliability layer)")
-	retries := fs.Int("retries", 0, "max client retries after a corrupt read, >= 1 (0 uses the reliability layer's default)")
+	relFlags := cliflags.AddReliability(fs)
 	prof := profiling.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,11 +90,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
-	if *cacheOn {
-		ccfg := cache.DefaultConfig()
-		ccfg.CapacityBytes = int64(*cacheMB * float64(1<<20))
-		ccfg.Prefetch = *prefetch
-		study.Machine.PFS.Cache = ccfg
+	cacheFlags.Apply(&study.Machine.PFS)
+	if err := collFlags.Apply(&study.Machine.PFS); err != nil {
+		return err
 	}
 
 	if *mtbf > 0 {
@@ -116,37 +110,12 @@ func run(args []string, out io.Writer) error {
 		study.FaultSeed = *seed
 	}
 
-	if *corrupt != "" || *scrub {
-		icfg := integrity.DefaultConfig()
-		if *scrub {
-			icfg.Scrub = integrity.DefaultScrubConfig()
-			icfg.Scrub.Window = sim.FromSeconds(*chaosWindow)
-		}
-		study.Machine.PFS.Integrity = icfg
-	}
-	if *corrupt != "" {
-		cp, err := fault.ParseCorruptionClasses(*corrupt, sim.FromSeconds(*chaosWindow))
-		if err != nil {
-			return err
-		}
+	relFlags.Apply(&study.Machine.PFS, sim.FromSeconds(*chaosWindow))
+	if cp, ok, err := relFlags.CorruptionPlan(&study.Machine.PFS, sim.FromSeconds(*chaosWindow)); err != nil {
+		return err
+	} else if ok {
 		study.Faults.Corruption = cp
 		study.FaultSeed = *seed
-		// Unrepairable classes (torn, misdirected) need the replica path so
-		// corrupt reads can reroute instead of killing the run.
-		if !study.Machine.PFS.Failover.Enabled {
-			study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
-		}
-		study.Machine.PFS.Failover.Replicate = true
-	}
-	if *corrupt != "" || *deadline > 0 || *retries > 0 {
-		rel := pfs.DefaultReliabilityConfig()
-		if *deadline > 0 {
-			rel.Deadline = sim.FromSeconds(*deadline)
-		}
-		if *retries > 0 {
-			rel.MaxRetries = *retries
-		}
-		study.Machine.PFS.Reliability = rel
 	}
 
 	report, err := core.Run(study)
@@ -170,6 +139,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if report.Cache != nil {
 		fmt.Fprintln(out, analysis.RenderCacheReport(report.Cache))
+	}
+	if report.Collective != nil {
+		fmt.Fprintln(out, analysis.RenderCollectiveReport(report.Collective))
+	}
+	if len(report.Sched) > 0 {
+		fmt.Fprintln(out, analysis.RenderSchedReport(report.Sched))
 	}
 	if report.Integrity != nil {
 		fmt.Fprintln(out, analysis.RenderIntegrityReport(report.Integrity))

@@ -27,12 +27,11 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
-	"repro/internal/cache"
 	"repro/internal/ckpt"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/fault"
-	"repro/internal/integrity"
 	"repro/internal/pfs"
 	"repro/internal/profiling"
 	"repro/internal/sim"
@@ -59,14 +58,10 @@ func run(args []string, out io.Writer) error {
 	maxAttempts := fs.Int("max-attempts", 8, "give up after this many attempts")
 	failover := fs.Bool("failover", true, "enable PFS request failover (off: any outage kills the attempt)")
 	replicate := fs.Bool("replicate", true, "mirror stripes so reads survive outages")
-	cacheOn := fs.Bool("cache", false, "attach a block cache with pattern-driven prefetch to every I/O node")
-	cacheMB := fs.Float64("cache-mb", 8, "per-node cache capacity in MB (with -cache)")
-	prefetch := fs.Bool("prefetch", true, "enable pattern-driven prefetch (with -cache)")
-	flushOnFail := fs.Bool("flush-on-fail", false, "drain dirty cache blocks synchronously when a node fails instead of losing them")
-	corrupt := fs.String("corrupt", "", "inject silent data corruption: comma-separated classes (bit-rot, torn-write, misdirected-write) or 'all'; enables the checksum layer")
-	scrub := fs.Bool("scrub", false, "run the background scrubber on every I/O node (enables the checksum layer)")
-	deadline := fs.Float64("deadline", 0, "per-request deadline in seconds (enables the client reliability layer)")
-	retries := fs.Int("retries", 0, "max client retries after a corrupt read, >= 1 (0 uses the reliability layer's default)")
+	cacheFlags := cliflags.AddCache(fs)
+	cacheFlags.AddFlushOnFail(fs)
+	collFlags := cliflags.AddCollective(fs)
+	relFlags := cliflags.AddReliability(fs)
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting corruption (and scrubbing) after this many simulated seconds")
 	sweep := fs.String("sweep", "", "comma-separated checkpoint intervals to sweep (e.g. 0,1,2,4)")
 	parallel := fs.Int("parallel", 0, "worker goroutines for -sweep (0 = GOMAXPROCS); results are identical at any setting")
@@ -90,49 +85,20 @@ func run(args []string, out io.Writer) error {
 		study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
 		study.Machine.PFS.Failover.Replicate = *replicate
 	}
-	if *cacheOn {
-		ccfg := cache.DefaultConfig()
-		ccfg.CapacityBytes = int64(*cacheMB * float64(1<<20))
-		ccfg.Prefetch = *prefetch
-		ccfg.FlushOnFail = *flushOnFail
-		study.Machine.PFS.Cache = ccfg
+	cacheFlags.Apply(&study.Machine.PFS)
+	if err := collFlags.Apply(&study.Machine.PFS); err != nil {
+		return err
 	}
-
-	if *corrupt != "" || *scrub {
-		icfg := integrity.DefaultConfig()
-		if *scrub {
-			icfg.Scrub = integrity.DefaultScrubConfig()
-			icfg.Scrub.Window = sim.FromSeconds(*chaosWindow)
-		}
-		study.Machine.PFS.Integrity = icfg
-	}
-	if *corrupt != "" || *deadline > 0 || *retries > 0 {
-		rel := pfs.DefaultReliabilityConfig()
-		if *deadline > 0 {
-			rel.Deadline = sim.FromSeconds(*deadline)
-		}
-		if *retries > 0 {
-			rel.MaxRetries = *retries
-		}
-		study.Machine.PFS.Reliability = rel
-	}
+	relFlags.Apply(&study.Machine.PFS, sim.FromSeconds(*chaosWindow))
 
 	plan, err := loadPlan(*scenario, *config)
 	if err != nil {
 		return err
 	}
-	if *corrupt != "" {
-		cp, err := fault.ParseCorruptionClasses(*corrupt, sim.FromSeconds(*chaosWindow))
-		if err != nil {
-			return err
-		}
+	if cp, ok, err := relFlags.CorruptionPlan(&study.Machine.PFS, sim.FromSeconds(*chaosWindow)); err != nil {
+		return err
+	} else if ok {
 		plan.Corruption = cp
-		// Unrepairable classes (torn, misdirected) need the replica path so
-		// corrupt reads can reroute instead of killing the attempt.
-		if !study.Machine.PFS.Failover.Enabled {
-			study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
-		}
-		study.Machine.PFS.Failover.Replicate = true
 	}
 	study.Faults = plan
 	study.FaultSeed = *seed
@@ -170,6 +136,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if rr.Final != nil && rr.Final.Integrity != nil {
 		fmt.Fprintln(out, analysis.RenderIntegrityReport(rr.Final.Integrity))
+	}
+	if rr.Final != nil && rr.Final.Collective != nil {
+		fmt.Fprintln(out, analysis.RenderCollectiveReport(rr.Final.Collective))
+	}
+	if rr.Final != nil && len(rr.Final.Sched) > 0 {
+		fmt.Fprintln(out, analysis.RenderSchedReport(rr.Final.Sched))
 	}
 	fmt.Fprint(out, analysis.RenderResilience(rr.Resilience()))
 	return nil

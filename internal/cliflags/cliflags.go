@@ -1,0 +1,151 @@
+// Package cliflags defines the PFS-configuration flag groups shared by the
+// iochar and stress commands — the cache, data-integrity/reliability, and
+// collective-I/O knobs — so both binaries register identical flags with
+// identical help text and wire them into a pfs.Config the same way.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/collective"
+	"repro/internal/fault"
+	"repro/internal/integrity"
+	"repro/internal/ionode"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// Cache bundles the I/O-node block-cache flags.
+type Cache struct {
+	On          *bool
+	MB          *float64
+	Prefetch    *bool
+	FlushOnFail *bool // nil unless AddFlushOnFail was called
+}
+
+// AddCache registers -cache, -cache-mb and -prefetch on fs.
+func AddCache(fs *flag.FlagSet) *Cache {
+	return &Cache{
+		On:       fs.Bool("cache", false, "attach a block cache with pattern-driven prefetch to every I/O node"),
+		MB:       fs.Float64("cache-mb", 8, "per-node cache capacity in MB (with -cache)"),
+		Prefetch: fs.Bool("prefetch", true, "enable pattern-driven prefetch (with -cache)"),
+	}
+}
+
+// AddFlushOnFail additionally registers -flush-on-fail (the stress command's
+// outage-drain knob).
+func (c *Cache) AddFlushOnFail(fs *flag.FlagSet) {
+	c.FlushOnFail = fs.Bool("flush-on-fail", false, "drain dirty cache blocks synchronously when a node fails instead of losing them")
+}
+
+// Apply wires the parsed cache flags into cfg.
+func (c *Cache) Apply(cfg *pfs.Config) {
+	if !*c.On {
+		return
+	}
+	ccfg := cache.DefaultConfig()
+	ccfg.CapacityBytes = int64(*c.MB * float64(1<<20))
+	ccfg.Prefetch = *c.Prefetch
+	if c.FlushOnFail != nil {
+		ccfg.FlushOnFail = *c.FlushOnFail
+	}
+	cfg.Cache = ccfg
+}
+
+// Reliability bundles the corruption-injection, checksum-layer, and client
+// reliability flags.
+type Reliability struct {
+	Corrupt  *string
+	Scrub    *bool
+	Deadline *float64
+	Retries  *int
+}
+
+// AddReliability registers -corrupt, -scrub, -deadline and -retries on fs.
+func AddReliability(fs *flag.FlagSet) *Reliability {
+	return &Reliability{
+		Corrupt:  fs.String("corrupt", "", "inject silent data corruption: comma-separated classes (bit-rot, torn-write, misdirected-write) or 'all'; enables the checksum layer"),
+		Scrub:    fs.Bool("scrub", false, "run the background scrubber on every I/O node (enables the checksum layer)"),
+		Deadline: fs.Float64("deadline", 0, "per-request deadline in seconds (enables the client reliability layer)"),
+		Retries:  fs.Int("retries", 0, "max client retries after a corrupt read, >= 1 (0 uses the reliability layer's default)"),
+	}
+}
+
+// Apply wires the checksum layer (when corruption or scrubbing is requested)
+// and the client reliability layer (when corruption, a deadline, or retries
+// are requested) into cfg. window bounds the scrubber.
+func (r *Reliability) Apply(cfg *pfs.Config, window sim.Time) {
+	if *r.Corrupt != "" || *r.Scrub {
+		icfg := integrity.DefaultConfig()
+		if *r.Scrub {
+			icfg.Scrub = integrity.DefaultScrubConfig()
+			icfg.Scrub.Window = window
+		}
+		cfg.Integrity = icfg
+	}
+	if *r.Corrupt != "" || *r.Deadline > 0 || *r.Retries > 0 {
+		rel := pfs.DefaultReliabilityConfig()
+		if *r.Deadline > 0 {
+			rel.Deadline = sim.FromSeconds(*r.Deadline)
+		}
+		if *r.Retries > 0 {
+			rel.MaxRetries = *r.Retries
+		}
+		cfg.Reliability = rel
+	}
+}
+
+// CorruptionPlan parses -corrupt into a fault plan bounded by window and
+// arms the replica path in cfg (unrepairable classes need reroute-on-read so
+// corrupt reads don't kill the run). ok is false when -corrupt was not given.
+func (r *Reliability) CorruptionPlan(cfg *pfs.Config, window sim.Time) (cp fault.CorruptionPlan, ok bool, err error) {
+	if *r.Corrupt == "" {
+		return fault.CorruptionPlan{}, false, nil
+	}
+	cp, err = fault.ParseCorruptionClasses(*r.Corrupt, window)
+	if err != nil {
+		return fault.CorruptionPlan{}, false, err
+	}
+	if !cfg.Failover.Enabled {
+		cfg.Failover = pfs.DefaultFailoverConfig()
+	}
+	cfg.Failover.Replicate = true
+	return cp, true, nil
+}
+
+// Collective bundles the two-phase aggregation and disk-scheduling flags.
+type Collective struct {
+	On          *bool
+	Aggregators *int
+	Sched       *string
+}
+
+// AddCollective registers -collective, -aggregators and -sched on fs.
+func AddCollective(fs *flag.FlagSet) *Collective {
+	return &Collective{
+		On:          fs.Bool("collective", false, "aggregate each M_RECORD/M_SYNC round's requests into stripe-aligned bulk transfers (two-phase collective I/O)"),
+		Aggregators: fs.Int("aggregators", 0, "aggregator nodes per collective round (0 = one per I/O node; with -collective)"),
+		Sched:       fs.String("sched", "", "I/O-node disk scheduling policy: fcfs, cscan, sstf, random (empty = legacy FIFO queue)"),
+	}
+}
+
+// Apply wires the parsed collective and scheduling flags into cfg.
+func (c *Collective) Apply(cfg *pfs.Config) error {
+	if *c.On {
+		cfg.Collective = collective.Config{
+			Enabled:     true,
+			Aggregators: *c.Aggregators,
+		}
+	} else if *c.Aggregators != 0 {
+		return fmt.Errorf("-aggregators needs -collective")
+	}
+	if *c.Sched != "" {
+		cfg.Sched = ionode.SchedConfig{Policy: *c.Sched, Window: ionode.DefaultWindow}
+		if err := cfg.Sched.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

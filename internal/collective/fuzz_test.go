@@ -1,0 +1,75 @@
+package collective
+
+import (
+	"testing"
+)
+
+// FuzzMerge decodes the fuzz input into a set of small extents, merges them,
+// and checks the result against a brute-force bitmap of the union: the merged
+// extents must be sorted, pairwise disjoint, non-adjacent, and cover exactly
+// the union of the inputs. It then cross-checks the run planner's byte
+// conservation on the merged set.
+func FuzzMerge(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 10, 10})            // adjacent pair
+	f.Add([]byte{0, 15, 10, 10})            // overlapping pair
+	f.Add([]byte{0, 10, 40, 10, 80, 10})    // disjoint triple
+	f.Add([]byte{60, 10, 0, 200, 120, 40})  // containment, cross-stripe
+	f.Add([]byte{5, 0, 7, 3, 7, 3, 200, 1}) // empty + duplicates
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const domain = 1024
+		var in []Extent
+		for i := 0; i+1 < len(data); i += 2 {
+			start := int64(data[i]) * 4 % domain
+			n := int64(data[i+1])
+			in = append(in, Extent{Start: start, End: start + n})
+		}
+
+		var ref [domain + 256]bool
+		for _, e := range in {
+			for b := e.Start; b < e.End; b++ {
+				ref[b] = true
+			}
+		}
+
+		got := Merge(in)
+		var covered [domain + 256]bool
+		prevEnd := int64(-1)
+		for _, e := range got {
+			if e.End <= e.Start {
+				t.Fatalf("empty merged extent %v in %v", e, got)
+			}
+			if e.Start <= prevEnd {
+				// Equal would mean adjacent extents that should have fused.
+				t.Fatalf("merged extents unsorted or touching: %v", got)
+			}
+			prevEnd = e.End
+			for b := e.Start; b < e.End; b++ {
+				covered[b] = true
+			}
+		}
+		for b := range ref {
+			if ref[b] != covered[b] {
+				t.Fatalf("byte %d: input coverage %v, merged coverage %v (in=%v merged=%v)",
+					b, ref[b], covered[b], in, got)
+			}
+		}
+
+		lay := Layout{StripeUnit: 64, IONodes: 5, FirstIONode: 2}
+		var mergedBytes, runBytes int64
+		chunks := 0
+		for _, e := range got {
+			mergedBytes += e.Len()
+		}
+		for _, r := range Runs(got, lay) {
+			runBytes += r.Bytes
+			chunks += r.Chunks
+			if r.ION < 0 || r.ION >= lay.IONodes || r.Bytes <= 0 || r.Chunks < 1 {
+				t.Fatalf("malformed run %+v", r)
+			}
+		}
+		if runBytes != mergedBytes {
+			t.Fatalf("runs move %d bytes, merged extents hold %d", runBytes, mergedBytes)
+		}
+	})
+}

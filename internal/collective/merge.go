@@ -1,0 +1,120 @@
+// Package collective implements the planning half of two-phase collective
+// I/O: a round's per-node requests are merged into the minimal set of
+// disjoint extents, then decomposed into per-I/O-node runs that are
+// contiguous in array address space — the "handful of large transfers" the
+// paper's authors call for in place of the observed floods of sub-stripe
+// requests. The execution half (round barriers, shuffle traffic, aggregator
+// processes) lives in the pfs package; this package is pure geometry so it
+// can be tested and fuzzed in isolation.
+package collective
+
+import "sort"
+
+// Extent is a half-open byte range [Start, End) of a file.
+type Extent struct {
+	Start, End int64
+}
+
+// Len returns the extent's size in bytes.
+func (e Extent) Len() int64 { return e.End - e.Start }
+
+// Merge coalesces extents into the minimal sorted set of disjoint extents
+// covering exactly the union of the inputs: overlapping and adjacent inputs
+// fuse, empty (or inverted) inputs are dropped. The input slice is not
+// modified.
+func Merge(extents []Extent) []Extent {
+	in := make([]Extent, 0, len(extents))
+	for _, e := range extents {
+		if e.End > e.Start {
+			in = append(in, e)
+		}
+	}
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].Start != in[j].Start {
+			return in[i].Start < in[j].Start
+		}
+		return in[i].End < in[j].End
+	})
+	out := in[:1]
+	for _, e := range in[1:] {
+		last := &out[len(out)-1]
+		if e.Start <= last.End {
+			if e.End > last.End {
+				last.End = e.End
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Layout is the striping geometry the planner decomposes merged extents
+// against: the file's stripe unit, the I/O-node population, and the node
+// holding the file's first stripe (files start on different nodes so small
+// files spread across the machine).
+type Layout struct {
+	StripeUnit  int64
+	IONodes     int
+	FirstIONode int
+}
+
+// Run is one bulk transfer: a span of one I/O node's array address space
+// covering Chunks stripe chunks of a merged extent. Offset and Bytes are in
+// file coordinates; the caller maps Offset to the node's array address. The
+// span is contiguous there because consecutive stripes of a file on the same
+// node are neighbours in its address space.
+type Run struct {
+	ION    int
+	Offset int64 // file offset of the run's first byte
+	Bytes  int64
+	Chunks int // stripe chunks coalesced into this run
+}
+
+// Runs decomposes merged (disjoint, ascending) extents into per-I/O-node
+// runs. Within one extent every chunk landing on the same I/O node is
+// contiguous in that node's array address space — interior chunks are whole
+// stripes, only the extent's first and last chunk can be partial — so each
+// (extent, node) pair yields exactly one run. The result is sorted by
+// (ION, Offset).
+func Runs(merged []Extent, lay Layout) []Run {
+	if lay.StripeUnit < 1 || lay.IONodes < 1 {
+		return nil
+	}
+	su := lay.StripeUnit
+	nion := int64(lay.IONodes)
+	var out []Run
+	open := make([]int, lay.IONodes) // per-node index+1 of this extent's run
+	for _, e := range merged {
+		for i := range open {
+			open[i] = 0
+		}
+		cur := e.Start
+		for cur < e.End {
+			stripe := cur / su
+			chunkEnd := (stripe + 1) * su
+			if chunkEnd > e.End {
+				chunkEnd = e.End
+			}
+			ion := (lay.FirstIONode + int(stripe%nion)) % lay.IONodes
+			if idx := open[ion]; idx > 0 {
+				out[idx-1].Bytes += chunkEnd - cur
+				out[idx-1].Chunks++
+			} else {
+				out = append(out, Run{ION: ion, Offset: cur, Bytes: chunkEnd - cur, Chunks: 1})
+				open[ion] = len(out)
+			}
+			cur = chunkEnd
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ION != out[j].ION {
+			return out[i].ION < out[j].ION
+		}
+		return out[i].Offset < out[j].Offset
+	})
+	return out
+}

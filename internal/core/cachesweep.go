@@ -115,12 +115,23 @@ func syntheticReport(scfg workload.SyntheticConfig, pcfg pfs.Config) (*Report, e
 	if err := app.Err(); err != nil {
 		return nil, err
 	}
-	return &Report{
-		Wall:    m.Eng.Now(),
-		Events:  tr.Events(),
-		Summary: analysis.Summarize(tr.Events()),
-		Cache:   analysis.BuildCacheReport(m.PFS.CacheStats()),
-	}, nil
+	r := &Report{
+		Wall:         m.Eng.Now(),
+		Events:       tr.Events(),
+		Summary:      analysis.Summarize(tr.Events()),
+		Cache:        analysis.BuildCacheReport(m.PFS.CacheStats()),
+		Sched:        m.PFS.SchedStats(),
+		PhysRequests: m.PFS.PhysRequests(),
+	}
+	if st, ok := m.PFS.CollectiveStats(); ok {
+		r.Collective = &st
+		// Straggler timers outlive the application by up to one window; the
+		// run's wall clock is the application's own finish.
+		if end := lastEventEnd(r.Events); end > 0 {
+			r.Wall = end
+		}
+	}
+	return r, nil
 }
 
 // modeCell is one row of a mode-by-mode comparison sweep: the workload plus

@@ -13,7 +13,9 @@ import (
 	"repro/internal/apps/escat"
 	"repro/internal/apps/htf"
 	"repro/internal/apps/render"
+	"repro/internal/collective"
 	"repro/internal/fault"
+	"repro/internal/ionode"
 	"repro/internal/iotrace"
 	"repro/internal/pablo"
 	"repro/internal/pfs"
@@ -132,6 +134,18 @@ type Report struct {
 	// Integrity is the end-to-end data-integrity report; nil when the
 	// study ran without the checksum layer.
 	Integrity *analysis.IntegrityReport
+
+	// Collective holds the two-phase aggregation counters; nil when the
+	// study ran without collective I/O.
+	Collective *collective.Stats
+
+	// Sched is the per-I/O-node disk-scheduler report; empty when the nodes
+	// ran the legacy FIFO queue.
+	Sched []ionode.SchedStats
+
+	// PhysRequests counts the physical array requests the I/O nodes served —
+	// the quantity collective aggregation collapses.
+	PhysRequests int64
 }
 
 // appErr lets Run surface failures collected inside node programs.
@@ -218,11 +232,12 @@ func (rt *runtime) inject(s Study, events []fault.Event) *fault.Injector {
 	return fault.Inject(rt.m.Eng, rt.m.PFS.IONodes(), events)
 }
 
-// clockPadded reports whether background integrity processes (bit-rot
-// drivers, the scrubber) keep the engine clock running past the
-// application's finish, so the run's wall clock must come from the trace.
+// clockPadded reports whether background processes (bit-rot drivers, the
+// scrubber, collective straggler timers) keep the engine clock running past
+// the application's finish, so the run's wall clock must come from the trace.
 func (rt *runtime) clockPadded(s Study) bool {
-	return !s.Faults.Corruption.Empty() || rt.m.PFS.ScrubWindowEnd() > 0
+	return !s.Faults.Corruption.Empty() || rt.m.PFS.ScrubWindowEnd() > 0 ||
+		rt.m.PFS.CollectiveEnabled()
 }
 
 // report assembles the study's report after a completed run.
@@ -247,6 +262,11 @@ func (rt *runtime) report(s Study) *Report {
 		r.PolicyStats = &st
 	}
 	r.Cache = analysis.BuildCacheReport(rt.m.PFS.CacheStats())
+	if st, ok := rt.m.PFS.CollectiveStats(); ok {
+		r.Collective = &st
+	}
+	r.Sched = rt.m.PFS.SchedStats()
+	r.PhysRequests = rt.m.PFS.PhysRequests()
 	if !s.Faults.Corruption.Empty() {
 		// End-of-run audit: sweep every tracked block so latent corruption
 		// is detected (and, where parity allows, repaired) before the report

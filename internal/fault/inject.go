@@ -141,8 +141,9 @@ func (inj *Injector) runStorm(p *sim.Process, ev Event) {
 }
 
 // runDiskFailure fails one drive and then runs the background rebuild: each
-// slice acquires the node's request queue, so rebuild bandwidth and
-// foreground requests contend FIFO for the array. The incident closes when
+// slice acquires the node's service slot, so rebuild bandwidth and foreground
+// requests contend for the array (FIFO, or through the node's disk-scheduling
+// policy when one is installed). The incident closes when
 // the rebuild completes; a second failure in the meantime kills the array and
 // the incident records it. While the node itself is down the rebuild stalls,
 // polling for the node's return.
@@ -163,7 +164,7 @@ func (inj *Injector) runDiskFailure(p *sim.Process, ev Event) {
 	}
 	const stallPoll = 100 * sim.Millisecond
 	for {
-		if err := n.Queue().AcquireWait(p); err != nil {
+		if err := n.AcquireService(p, -1, 0); err != nil {
 			// Node is down; rebuild can't touch the array. Outages are
 			// finite (driver processes restore them), so poll.
 			p.Sleep(stallPoll)
@@ -175,7 +176,7 @@ func (inj *Injector) runDiskFailure(p *sim.Process, ev Event) {
 		}
 		slice, done := arr.RebuildSlice(p.Now())
 		p.Sleep(slice)
-		n.Queue().Release(p)
+		n.ReleaseService(p)
 		if arr.Dead() {
 			inj.close(i, p.Now(), "array dead (second drive failure)")
 			return

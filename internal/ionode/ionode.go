@@ -30,6 +30,7 @@ var ErrDown = errors.New("ionode: I/O node is down")
 type Node struct {
 	id    int
 	queue *sim.Resource
+	sched *dispatcher // nil = legacy strict-FIFO queue
 	array *disk.Array
 	cache *cache.Cache     // nil when caching is disabled
 	integ *integrity.Store // nil when the integrity layer is disabled
@@ -63,8 +64,64 @@ func (n *Node) ID() int { return n.id }
 func (n *Node) Array() *disk.Array { return n.array }
 
 // Queue exposes the node's request queue (for rebuild processes that must
-// contend with foreground requests).
+// contend with foreground requests). With a scheduling policy installed, the
+// queue is bypassed — such callers use AcquireService/ReleaseService, which
+// route through whichever server is active.
 func (n *Node) Queue() *sim.Resource { return n.queue }
+
+// EnableSched installs a disk-scheduling policy in front of the array,
+// replacing the strict-FIFO resource queue. Call before the simulation
+// starts issuing requests. An empty policy name is a no-op (legacy FIFO).
+func (n *Node) EnableSched(cfg SchedConfig) error {
+	if cfg.Policy == "" {
+		return nil
+	}
+	d, err := newDispatcher(fmt.Sprintf("ionode%d", n.id), cfg)
+	if err != nil {
+		return err
+	}
+	n.sched = d
+	return nil
+}
+
+// SchedStats returns the scheduling dispatcher's counters; ok is false when
+// the node runs the legacy FIFO queue.
+func (n *Node) SchedStats() (SchedStats, bool) {
+	if n.sched == nil {
+		return SchedStats{}, false
+	}
+	return n.sched.stats, true
+}
+
+// acquire queues p for the node's service slot. addr/span position the
+// request in array address space for the scheduling policy; addr < 0 marks
+// position-less control work, served in arrival order under every policy.
+func (n *Node) acquire(p *sim.Process, addr, span int64) error {
+	if n.sched != nil {
+		return n.sched.Acquire(p, addr, span)
+	}
+	return n.queue.AcquireWait(p)
+}
+
+// release completes the request p held the service slot for.
+func (n *Node) release(p *sim.Process) {
+	if n.sched != nil {
+		n.sched.Release(p)
+		return
+	}
+	n.queue.Release(p)
+}
+
+// AcquireService queues p for the node's service slot like a request would —
+// through the scheduling policy when one is installed. It is the entry point
+// for control work (rebuild slices) that must contend with foreground
+// traffic; addr < 0 marks position-less work.
+func (n *Node) AcquireService(p *sim.Process, addr, span int64) error {
+	return n.acquire(p, addr, span)
+}
+
+// ReleaseService releases a slot taken with AcquireService.
+func (n *Node) ReleaseService(p *sim.Process) { n.release(p) }
 
 // EnableCache attaches a block cache between the node's queue and its
 // array: demand hits bypass the queue entirely, misses and write-backs go
@@ -133,18 +190,18 @@ func (n *Node) scrubLoop(p *sim.Process, cfg integrity.ScrubConfig) {
 			continue
 		}
 		start := p.Now()
-		if err := n.queue.AcquireWait(p); err != nil {
+		if err := n.acquire(p, -1, 0); err != nil {
 			p.Sleep(period)
 			continue
 		}
 		if n.down || n.array.Dead() {
-			n.queue.Release(p)
+			n.release(p)
 			p.Sleep(period)
 			continue
 		}
 		idxs, _ := n.integ.ScrubNext(maxBlocks)
 		if len(idxs) == 0 {
-			n.queue.Release(p)
+			n.release(p)
 			p.Sleep(period)
 			continue
 		}
@@ -162,7 +219,7 @@ func (n *Node) scrubLoop(p *sim.Process, cfg integrity.ScrubConfig) {
 			// Unrepairable: detection is recorded; the block stays corrupt
 			// until a rewrite or replica heal clears it.
 		}
-		n.queue.Release(p)
+		n.release(p)
 		took := p.Now() - start
 		n.integ.CountScrub(int64(len(idxs)), took)
 		if took < period {
@@ -207,6 +264,10 @@ func (n *Node) Fail(p *sim.Process) {
 	n.down = true
 	n.failures++
 	n.downSince = p.Now()
+	if n.sched != nil {
+		n.sched.Break(p)
+		return
+	}
 	n.queue.Break(p)
 }
 
@@ -217,7 +278,11 @@ func (n *Node) Restore(p *sim.Process) {
 	}
 	n.down = false
 	n.downTime += p.Now() - n.downSince
-	n.queue.Repair()
+	if n.sched != nil {
+		n.sched.Repair()
+	} else {
+		n.queue.Repair()
+	}
 	if n.cache != nil {
 		n.cache.OnRestore(p)
 	}
@@ -291,13 +356,13 @@ func (n *Node) BlockIO(p *sim.Process, stream, addr, bytes int64, read bool) err
 	if err := n.usable(); err != nil {
 		return err
 	}
-	if err := n.queue.AcquireWait(p); err != nil {
+	if err := n.acquire(p, addr, bytes); err != nil {
 		n.rejected++
 		return ErrDown
 	}
 	if err := n.usable(); err != nil {
 		// The array died while we queued (second drive failure).
-		n.queue.Release(p)
+		n.release(p)
 		return ErrDown
 	}
 	svc := n.scale(n.array.Service(stream, addr, bytes, read))
@@ -313,7 +378,7 @@ func (n *Node) BlockIO(p *sim.Process, stream, addr, bytes int64, read bool) err
 			n.integ.CommitWrite(p.Now(), addr, bytes)
 		}
 	}
-	n.queue.Release(p)
+	n.release(p)
 	n.requests++
 	n.bytes += bytes
 	if corrupt {
@@ -351,12 +416,12 @@ func (n *Node) DoSweep(p *sim.Process, stream, addr, bytes int64, requests int) 
 	if err := n.usable(); err != nil {
 		return 0, err
 	}
-	if err := n.queue.AcquireWait(p); err != nil {
+	if err := n.acquire(p, addr, bytes); err != nil {
 		n.rejected++
 		return p.Now() - start, ErrDown
 	}
 	if err := n.usable(); err != nil {
-		n.queue.Release(p)
+		n.release(p)
 		return p.Now() - start, ErrDown
 	}
 	svc := n.scale(n.array.SweepServiceTime(stream, addr, bytes, requests))
@@ -367,7 +432,7 @@ func (n *Node) DoSweep(p *sim.Process, stream, addr, bytes int64, requests int) 
 		svc += n.integ.VerifyCost(bytes)
 	}
 	p.Sleep(svc)
-	n.queue.Release(p)
+	n.release(p)
 	n.requests += int64(requests)
 	n.bytes += bytes
 	return p.Now() - start, nil
@@ -380,12 +445,12 @@ func (n *Node) Sync(p *sim.Process, cost sim.Time) (sim.Time, error) {
 	if err := n.usable(); err != nil {
 		return 0, err
 	}
-	if err := n.queue.AcquireWait(p); err != nil {
+	if err := n.acquire(p, -1, 0); err != nil {
 		n.rejected++
 		return p.Now() - start, ErrDown
 	}
 	p.Sleep(n.scale(cost))
-	n.queue.Release(p)
+	n.release(p)
 	return p.Now() - start, nil
 }
 
@@ -416,5 +481,8 @@ func (n *Node) DownSince() (sim.Time, bool) {
 // Utilization reports the fraction of time the array server was busy up to
 // the given instant.
 func (n *Node) Utilization(at sim.Time) float64 {
+	if n.sched != nil {
+		return n.sched.Utilization(at)
+	}
 	return n.queue.StatsAt(at).Utilization
 }

@@ -1,0 +1,335 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/collective"
+	"repro/internal/ionode"
+	"repro/internal/iotrace"
+	"repro/internal/sim"
+)
+
+// collRig builds a rig with collective I/O on and a fixed compute partition.
+func collRig(t *testing.T, nodes int, mut func(*Config)) *testRig {
+	t.Helper()
+	return newRig(t, func(c *Config) {
+		c.ComputeNodes = nodes
+		c.Collective = collective.Config{Enabled: true}
+		if mut != nil {
+			mut(c)
+		}
+	})
+}
+
+// spawnGroup runs fn once per compute node and finishes the simulation.
+func spawnGroup(t *testing.T, r *testRig, nodes int, fn func(p *sim.Process, node int)) {
+	t.Helper()
+	for i := 0; i < nodes; i++ {
+		i := i
+		r.eng.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Process) { fn(p, i) })
+	}
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// openGroup opens one handle per node in its own engine run, so that a
+// following spawnGroup starts every node's I/O at the same instant — the
+// barrier-then-I/O-phase structure of the paper's applications. (Opens
+// serialize at the metadata server, so doing them inside the I/O phase would
+// stagger nodes beyond any reasonable straggler window.)
+func openGroup(t *testing.T, r *testRig, nodes int, open func(p *sim.Process, node int) (*Handle, error)) []*Handle {
+	t.Helper()
+	hs := make([]*Handle, nodes)
+	spawnGroup(t, r, nodes, func(p *sim.Process, node int) {
+		h, err := open(p, node)
+		if err != nil {
+			t.Errorf("node %d open: %v", node, err)
+			return
+		}
+		hs[node] = h
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	return hs
+}
+
+// TestCollectiveRecordWriteAggregates: a full M_RECORD round of small
+// records becomes a handful of bulk runs — same file image, far fewer
+// physical requests.
+func TestCollectiveRecordWriteAggregates(t *testing.T) {
+	const (
+		nodes   = 8
+		recLen  = 4096
+		records = 16
+	)
+	run := func(on bool) (size int64, phys int64, stats collective.Stats) {
+		var r *testRig
+		if on {
+			r = collRig(t, nodes, nil)
+		} else {
+			r = newRig(t, func(c *Config) { c.ComputeNodes = nodes })
+		}
+		r.run(t, func(p *sim.Process) {
+			h, err := r.fs.Create(p, 0, "rec", iotrace.ModeRecord)
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			_ = h
+		})
+		hs := openGroup(t, r, nodes, func(p *sim.Process, node int) (*Handle, error) {
+			return r.fs.OpenRecord(p, node, "rec", recLen)
+		})
+		spawnGroup(t, r, nodes, func(p *sim.Process, node int) {
+			for j := 0; j < records; j++ {
+				done, err := hs[node].Write(p, recLen)
+				if err != nil || done != recLen {
+					t.Fatalf("node %d write %d: %d, %v", node, j, done, err)
+				}
+			}
+		})
+		info, _ := r.fs.Stat("rec")
+		st, _ := r.fs.CollectiveStats()
+		return info.Size, r.fs.PhysRequests(), st
+	}
+
+	sizeOff, physOff, _ := run(false)
+	sizeOn, physOn, st := run(true)
+	if sizeOn != sizeOff {
+		t.Fatalf("file size with collective %d, without %d", sizeOn, sizeOff)
+	}
+	if want := int64(nodes * records * recLen); sizeOn != want {
+		t.Fatalf("file size %d, want %d", sizeOn, want)
+	}
+	if physOn*4 > physOff {
+		t.Fatalf("physical requests %d (collective) vs %d (per-request): want >= 4x reduction", physOn, physOff)
+	}
+	if st.Rounds != records || st.FullRounds != records {
+		t.Fatalf("rounds %d full %d, want %d full rounds", st.Rounds, st.FullRounds, records)
+	}
+	if st.RequestsIn != nodes*records {
+		t.Fatalf("requests in %d, want %d", st.RequestsIn, nodes*records)
+	}
+	if st.RequestsOut >= st.RequestsIn || st.BytesOut != st.BytesIn {
+		t.Fatalf("stats out %d/%d bytes vs in %d/%d", st.RequestsOut, st.BytesOut, st.RequestsIn, st.BytesIn)
+	}
+}
+
+// TestCollectiveRecordReadBack: writes per-request, reads collectively; every
+// node must get its own records back with correct EOF behaviour at the tail.
+func TestCollectiveRecordReadBack(t *testing.T) {
+	const (
+		nodes  = 4
+		recLen = 2048
+	)
+	r := collRig(t, nodes, nil)
+	r.run(t, func(p *sim.Process) {
+		h, err := r.fs.Create(p, 0, "rr", iotrace.ModeUnix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2 full record rounds for 4 nodes, then one extra record so the
+		// third round exists only for node 0: its peers hit EOF and the
+		// straggler window must flush node 0's singleton round.
+		if _, err := h.Write(p, int64(recLen*(2*nodes+1))); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var got [nodes][]int64
+	var errs [nodes]error
+	hs := openGroup(t, r, nodes, func(p *sim.Process, node int) (*Handle, error) {
+		return r.fs.OpenRecord(p, node, "rr", recLen)
+	})
+	spawnGroup(t, r, nodes, func(p *sim.Process, node int) {
+		h := hs[node]
+		for {
+			done, err := h.Read(p, recLen)
+			if err != nil {
+				errs[node] = err
+				return
+			}
+			got[node] = append(got[node], done)
+		}
+	})
+	for node := 0; node < nodes; node++ {
+		want := 2
+		if node == 0 {
+			want = 3
+		}
+		if len(got[node]) != want {
+			t.Fatalf("node %d read %d records, want %d", node, len(got[node]), want)
+		}
+		if !errors.Is(errs[node], ErrEOF) {
+			t.Fatalf("node %d final error %v, want ErrEOF", node, errs[node])
+		}
+	}
+	st, _ := r.fs.CollectiveStats()
+	if st.TimeoutRounds == 0 {
+		t.Fatalf("expected a straggler-window flush, stats %+v", st)
+	}
+}
+
+// TestCollectiveSyncMatchesBaseline: M_SYNC through the round barrier must
+// produce the same final file size and shared-pointer state as the
+// sequencer-ordered baseline.
+func TestCollectiveSyncMatchesBaseline(t *testing.T) {
+	const (
+		nodes  = 6
+		nBytes = 3000
+		rounds = 5
+	)
+	run := func(on bool) (size int64, phys int64) {
+		var r *testRig
+		if on {
+			r = collRig(t, nodes, nil)
+		} else {
+			r = newRig(t, func(c *Config) { c.ComputeNodes = nodes })
+		}
+		r.run(t, func(p *sim.Process) {
+			if _, err := r.fs.Create(p, 0, "s", iotrace.ModeSync); err != nil {
+				t.Fatal(err)
+			}
+		})
+		hs := openGroup(t, r, nodes, func(p *sim.Process, node int) (*Handle, error) {
+			return r.fs.Open(p, node, "s", iotrace.ModeSync)
+		})
+		spawnGroup(t, r, nodes, func(p *sim.Process, node int) {
+			h := hs[node]
+			for j := 0; j < rounds; j++ {
+				// Variable per-node sizes: offsets still line up because both
+				// disciplines assign them in node order per round.
+				n := int64(nBytes + node*128)
+				done, err := h.Write(p, n)
+				if err != nil || done != n {
+					t.Fatalf("node %d round %d: %d, %v", node, j, done, err)
+				}
+			}
+		})
+		info, _ := r.fs.Stat("s")
+		return info.Size, r.fs.PhysRequests()
+	}
+	sizeOff, physOff := run(false)
+	sizeOn, physOn := run(true)
+	if sizeOn != sizeOff {
+		t.Fatalf("file size with collective %d, without %d", sizeOn, sizeOff)
+	}
+	if physOn >= physOff {
+		t.Fatalf("collective did not reduce physical requests: %d vs %d", physOn, physOff)
+	}
+}
+
+// TestCollectiveSyncReadEOF: collective M_SYNC reads clamp and EOF exactly
+// like the shared-pointer baseline — node order decides who hits the end.
+func TestCollectiveSyncReadEOF(t *testing.T) {
+	const nodes = 3
+	r := collRig(t, nodes, nil)
+	r.run(t, func(p *sim.Process) {
+		h, err := r.fs.Create(p, 0, "se", iotrace.ModeUnix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write(p, 2500); err != nil { // 2.5 of three 1000-byte reads
+			t.Fatal(err)
+		}
+		if err := h.Close(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var done [nodes]int64
+	var errs [nodes]error
+	hs := openGroup(t, r, nodes, func(p *sim.Process, node int) (*Handle, error) {
+		return r.fs.Open(p, node, "se", iotrace.ModeSync)
+	})
+	spawnGroup(t, r, nodes, func(p *sim.Process, node int) {
+		done[node], errs[node] = hs[node].Read(p, 1000)
+	})
+	if done[0] != 1000 || done[1] != 1000 || done[2] != 500 {
+		t.Fatalf("read sizes %v, want [1000 1000 500]", done)
+	}
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d unexpected error %v", node, err)
+		}
+	}
+	// One more round on the same handles: the shared pointer sits at the
+	// end, so every member must see ErrEOF.
+	spawnGroup(t, r, nodes, func(p *sim.Process, node int) {
+		if _, err := hs[node].Read(p, 1000); !errors.Is(err, ErrEOF) {
+			t.Fatalf("node %d: %v, want ErrEOF", node, err)
+		}
+	})
+}
+
+// TestCollectiveWithCSCANAndCache: aggregation composes with the elevator
+// scheduler and the I/O-node cache without deadlock or data loss.
+func TestCollectiveWithCSCANAndCache(t *testing.T) {
+	const (
+		nodes  = 8
+		recLen = 4096
+	)
+	r := collRig(t, nodes, func(c *Config) {
+		c.Sched = ionode.SchedConfig{Policy: "cscan", Window: 200 * sim.Microsecond}
+		c.Cache = cache.Config{Enabled: true}
+	})
+	r.run(t, func(p *sim.Process) {
+		if _, err := r.fs.Create(p, 0, "cc", iotrace.ModeRecord); err != nil {
+			t.Fatal(err)
+		}
+	})
+	hs := openGroup(t, r, nodes, func(p *sim.Process, node int) (*Handle, error) {
+		return r.fs.OpenRecord(p, node, "cc", recLen)
+	})
+	spawnGroup(t, r, nodes, func(p *sim.Process, node int) {
+		for j := 0; j < 8; j++ {
+			if _, err := hs[node].Write(p, recLen); err != nil {
+				t.Fatalf("node %d: %v", node, err)
+			}
+		}
+	})
+	info, _ := r.fs.Stat("cc")
+	if want := int64(nodes * 8 * recLen); info.Size != want {
+		t.Fatalf("size %d, want %d", info.Size, want)
+	}
+	if stats := r.fs.SchedStats(); len(stats) == 0 {
+		t.Fatal("no scheduler stats with cscan installed")
+	}
+}
+
+// TestCollectiveDeterministic: two identical runs produce identical stats,
+// file sizes, and clocks.
+func TestCollectiveDeterministic(t *testing.T) {
+	run := func() string {
+		const nodes = 5
+		r := collRig(t, nodes, func(c *Config) {
+			c.Sched = ionode.SchedConfig{Policy: "cscan", Window: 200 * sim.Microsecond, Seed: 11}
+		})
+		r.run(t, func(p *sim.Process) {
+			if _, err := r.fs.Create(p, 0, "d", iotrace.ModeSync); err != nil {
+				t.Fatal(err)
+			}
+		})
+		hs := openGroup(t, r, nodes, func(p *sim.Process, node int) (*Handle, error) {
+			return r.fs.Open(p, node, "d", iotrace.ModeSync)
+		})
+		spawnGroup(t, r, nodes, func(p *sim.Process, node int) {
+			for j := 0; j < 6; j++ {
+				if _, err := hs[node].Write(p, int64(1000+node*7)); err != nil {
+					t.Fatalf("node %d: %v", node, err)
+				}
+			}
+		})
+		st, _ := r.fs.CollectiveStats()
+		info, _ := r.fs.Stat("d")
+		return fmt.Sprintf("%+v|%+v|%d", st, info, r.eng.Now())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("collective runs diverged:\n%s\n%s", a, b)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/collective"
 	"repro/internal/disk"
 	"repro/internal/integrity"
+	"repro/internal/ionode"
 	"repro/internal/sim"
 )
 
@@ -46,6 +48,22 @@ type Config struct {
 	// seeded backoff + jitter, and hedged reads over the transfer path. The
 	// zero value disables it.
 	Reliability ReliabilityConfig
+
+	// Collective enables two-phase aggregation for the round-structured
+	// access modes (M_RECORD, M_SYNC): a round's per-node requests meet at a
+	// barrier, are interval-merged into stripe runs, and issued as a handful
+	// of large transfers by aggregator nodes, with the member↔aggregator
+	// shuffle charged on the mesh. The zero value keeps the per-request
+	// paths. (M_GLOBAL needs no aggregation: one leader transfer per round
+	// already serves the whole group.)
+	Collective collective.Config
+
+	// Sched selects the disk-scheduling policy at every I/O node. The zero
+	// value keeps the legacy strict-FIFO queue, byte-identical to earlier
+	// revisions; "cscan" installs the elevator with its anticipatory
+	// batching window. Each node's policy draws from its own substream of
+	// Sched.Seed.
+	Sched ionode.SchedConfig
 }
 
 // FailoverConfig describes the request failover policy used under injected
@@ -93,6 +111,9 @@ func (c Config) Validate() error {
 	}
 	if c.StripeUnit < 1 {
 		return fmt.Errorf("pfs: stripe unit %d < 1", c.StripeUnit)
+	}
+	if err := c.Sched.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

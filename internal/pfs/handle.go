@@ -164,8 +164,17 @@ func (h *Handle) access(p *sim.Process, op iotrace.Op, n int64) (int64, error) {
 
 	case iotrace.ModeSync:
 		// Shared pointer, node-number order: node k of round r holds turn
-		// r*N + k. N is the mesh's compute-node population.
+		// r*N + k. N is the mesh's compute-node population. With collective
+		// I/O the round's requests meet at a barrier instead and the flusher
+		// assigns offsets in node order — the same discipline, one
+		// aggregated transfer.
 		p.Sleep(fs.cfg.Cost.SharedTokenService)
+		if fs.coll != nil && (op == iotrace.OpRead || op == iotrace.OpWrite) {
+			idx := int64(h.syncRound)
+			h.syncRound++
+			done, at, err = fs.coll.syncAccess(p, h, op, idx, n)
+			break
+		}
 		turn := h.syncRound*h.computeNodes() + h.node
 		h.syncRound++
 		f.seq.WaitTurn(p, turn)
@@ -189,6 +198,11 @@ func (h *Handle) access(p *sim.Process, op iotrace.Op, n int64) (int64, error) {
 		rec := h.recordRound*int64(h.computeNodes()) + int64(h.node)
 		h.recordRound++
 		at = rec * f.recordLen
+		if fs.coll != nil && (op == iotrace.OpRead || op == iotrace.OpWrite) {
+			done, err = fs.coll.recordAccess(p, h, op, h.recordRound-1, at, n)
+			h.offset = at + done
+			break
+		}
 		done, err = h.doAt(p, op, at, n)
 		h.offset = at + done
 

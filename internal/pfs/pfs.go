@@ -54,6 +54,8 @@ type FileSystem struct {
 	relRNG *sim.RNG // jitter stream; nil when the reliability layer is off
 	lat    latencyTracker
 	hseq   int64 // hedge process name sequence
+
+	coll *collState // nil when collective I/O is disabled
 }
 
 // FailoverStats counts the failover machinery's activity under injected
@@ -96,6 +98,13 @@ func New(eng *sim.Engine, msh *mesh.Mesh, cfg Config) (*FileSystem, error) {
 			n.EnableIntegrity(cfg.Integrity.Normalized(cfg.StripeUnit))
 			n.StartScrubber(eng)
 		}
+		if cfg.Sched.Policy != "" {
+			sc := cfg.Sched
+			sc.Seed += uint64(i) * 0x9e3779b97f4a7c15 // per-node substream
+			if err := n.EnableSched(sc); err != nil {
+				return nil, err
+			}
+		}
 		fs.ion = append(fs.ion, n)
 		home := total - cfg.IONodes + i
 		if home < 0 {
@@ -103,7 +112,35 @@ func New(eng *sim.Engine, msh *mesh.Mesh, cfg Config) (*FileSystem, error) {
 		}
 		fs.ionHome = append(fs.ionHome, home)
 	}
+	if cfg.Collective.Enabled {
+		fs.cfg.Collective = cfg.Collective.Normalized(cfg.IONodes)
+		fs.coll = newCollState(fs)
+	}
 	return fs, nil
+}
+
+// SchedStats returns every I/O node's scheduling-dispatcher counters, in node
+// order; nil when the legacy FIFO queue is in use.
+func (fs *FileSystem) SchedStats() []ionode.SchedStats {
+	var out []ionode.SchedStats
+	for _, n := range fs.ion {
+		if s, ok := n.SchedStats(); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PhysRequests sums the physical request count over the I/O nodes — the
+// array-level traffic after caching and collective aggregation have had
+// their effect.
+func (fs *FileSystem) PhysRequests() int64 {
+	var total int64
+	for _, n := range fs.ion {
+		r, _ := n.Stats()
+		total += r
+	}
+	return total
 }
 
 // Config returns the file-system configuration.

@@ -36,6 +36,14 @@ type SyntheticConfig struct {
 	// derives it from the record layout; set it larger than the cache to
 	// build a working set that cannot become resident.
 	FileBytes int64
+
+	// Barrier synchronizes the nodes between opening the shared file and
+	// starting the record loop — the barrier-then-I/O-phase structure of the
+	// paper's applications. Opens serialize at the metadata server, so
+	// without it the nodes enter the I/O phase staggered by a full open
+	// service time each; round-structured what-ifs (collective I/O's
+	// straggler window) need the phase alignment.
+	Barrier bool
 }
 
 // Validate reports nonsensical configurations.
@@ -102,10 +110,14 @@ func (s *Synthetic) Launch(m *Machine, fs FS) error {
 	if _, err := fs.Preload(cfg.Name, s.fileSize()); err != nil {
 		return err
 	}
+	var bar *sim.Barrier
+	if cfg.Barrier {
+		bar = sim.NewBarrier(m.Eng, "syn-phase", cfg.Nodes)
+	}
 	for node := 0; node < cfg.Nodes; node++ {
 		node := node
 		m.Eng.Spawn(fmt.Sprintf("syn%d", node), func(p *sim.Process) {
-			if err := s.runNode(p, fs, node); err != nil {
+			if err := s.runNode(p, fs, node, bar); err != nil {
 				s.errs.Addf("node %d: %w", node, err)
 			}
 		})
@@ -113,7 +125,7 @@ func (s *Synthetic) Launch(m *Machine, fs FS) error {
 	return nil
 }
 
-func (s *Synthetic) runNode(p *sim.Process, fs FS, node int) error {
+func (s *Synthetic) runNode(p *sim.Process, fs FS, node int, bar *sim.Barrier) error {
 	cfg := s.cfg
 	var h Handle
 	var err error
@@ -139,6 +151,9 @@ func (s *Synthetic) runNode(p *sim.Process, fs FS, node int) error {
 		// are decorrelated (adjacent raw seeds would overlap: splitmix64
 		// advances its state by a fixed increment per draw).
 		rng = sim.NewRNG(cfg.Seed + uint64(node)).Split()
+	}
+	if bar != nil {
+		bar.Wait(p)
 	}
 	slots := s.fileSize() / cfg.RecordBytes
 	for r := 0; r < cfg.Records; r++ {

@@ -21,9 +21,11 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/ckpt"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/integrity"
+	"repro/internal/ionode"
 	"repro/internal/pfs"
 	"repro/internal/ppfs"
 	"repro/internal/sim"
@@ -253,4 +255,56 @@ func RenderCorruptionSweep(rows []CorruptionSweepRow) string {
 // RenderIntegrityOverhead formats the verify-overhead sweep as a table.
 func RenderIntegrityOverhead(rows []IntegrityOverheadRow) string {
 	return analysis.RenderIntegrityOverhead(rows)
+}
+
+// Two-phase collective I/O and disk scheduling (the paper's §10 call for
+// collective interfaces, plus the arrays' elevator what-if).
+
+// CollectiveConfig enables two-phase aggregation of round-structured
+// M_RECORD/M_SYNC traffic (set as Study.Machine.PFS.Collective).
+type CollectiveConfig = collective.Config
+
+// CollectiveStats counts a run's collective rounds, the logical-to-physical
+// request collapse, and the shuffle traffic; Report.Collective carries it.
+type CollectiveStats = collective.Stats
+
+// SchedConfig selects the per-I/O-node disk-scheduling policy — fcfs, cscan,
+// sstf, or random — with an anticipatory batching window (set as
+// Study.Machine.PFS.Sched). The zero value keeps the legacy FIFO queue.
+type SchedConfig = ionode.SchedConfig
+
+// SchedStats counts one node dispatcher's grants, reorders and elevator
+// wraps; Report.Sched carries one entry per I/O node.
+type SchedStats = ionode.SchedStats
+
+// CollectiveComparison is one workload's collective-versus-direct outcome.
+type CollectiveComparison = analysis.CollectiveComparison
+
+// DefaultSchedWindow is the default anticipatory batching bound for named
+// scheduling policies.
+const DefaultSchedWindow = ionode.DefaultWindow
+
+// CollectiveSweep runs the three applications with and without collective
+// aggregation and reports the physical-request and makespan change.
+func CollectiveSweep(small bool, ccfg CollectiveConfig, sched SchedConfig) ([]CollectiveComparison, error) {
+	return core.CollectiveSweep(small, ccfg, sched)
+}
+
+// ModeCollectiveSweep compares collective against direct synthetic runs under
+// all six PFS access modes (only the round-structured M_RECORD and M_SYNC
+// modes aggregate; the rest pass through unchanged as controls).
+func ModeCollectiveSweep(ccfg CollectiveConfig, sched SchedConfig) ([]CollectiveComparison, error) {
+	return core.ModeCollectiveSweep(ccfg, sched)
+}
+
+// RenderCollectiveReport formats a run's collective-aggregation section,
+// including the logical-versus-physical request-size histogram.
+func RenderCollectiveReport(st *CollectiveStats) string { return analysis.RenderCollectiveReport(st) }
+
+// RenderSchedReport formats the per-node disk-scheduling counters.
+func RenderSchedReport(rows []SchedStats) string { return analysis.RenderSchedReport(rows) }
+
+// RenderCollectiveSweep formats a collective-versus-direct comparison table.
+func RenderCollectiveSweep(title string, rows []CollectiveComparison) string {
+	return analysis.RenderCollectiveSweep(title, rows)
 }
