@@ -8,6 +8,7 @@
 //	iochar -app escat [-small] [-policy none|ppfs|adaptive]
 //	       [-cache] [-cache-mb MB] [-prefetch=false]
 //	       [-collective] [-aggregators N] [-sched cscan]
+//	       [-burst] [-burst-mb MB] [-burst-drain MB/s] [-compress RATIO]
 //	       [-trace FILE] [-trace-ascii] [-window SECONDS] [-figures DIR]
 //	       [-mtbf SECONDS -seed N]
 //	       [-corrupt all|bit-rot,torn-write,misdirected-write] [-scrub]
@@ -55,6 +56,7 @@ func run(args []string, out io.Writer) error {
 	figures := fs.String("figures", "", "write figure CSV/ASCII files to this directory")
 	cacheFlags := cliflags.AddCache(fs)
 	collFlags := cliflags.AddCollective(fs)
+	burstFlags := cliflags.AddBurst(fs)
 	mtbf := fs.Float64("mtbf", 0, "inject I/O-node outages with this exponential mean time between failures in seconds (0 = none)")
 	outage := fs.Float64("outage", 5, "duration in seconds of each injected outage")
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting faults after this many simulated seconds")
@@ -93,6 +95,15 @@ func run(args []string, out io.Writer) error {
 	cacheFlags.Apply(&study.Machine.PFS)
 	if err := collFlags.Apply(&study.Machine.PFS); err != nil {
 		return err
+	}
+	if bcfg, err := burstFlags.Config(); err != nil {
+		return err
+	} else if bcfg.Enabled {
+		// iochar runs without checkpointing, so route the application's bulk
+		// output files through the log by name prefix — otherwise the tier
+		// would sit idle (no application in the suite uses M_LOG).
+		bcfg.Prefixes = append(core.OutputPrefixes(core.AppID(*app)), bcfg.Prefixes...)
+		study.Burst = bcfg
 	}
 
 	if *mtbf > 0 {
@@ -145,6 +156,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(report.Sched) > 0 {
 		fmt.Fprintln(out, analysis.RenderSchedReport(report.Sched))
+	}
+	if report.Burst != nil {
+		fmt.Fprintln(out, analysis.RenderBurstReport(report.Burst))
 	}
 	if report.Integrity != nil {
 		fmt.Fprintln(out, analysis.RenderIntegrityReport(report.Integrity))

@@ -14,6 +14,7 @@
 //	stress -scenario disks -sweep 0,1,2,4
 //	stress -config chaos.json -app escat -ckpt-interval 2
 //	stress -scenario none -corrupt all -scrub -deadline 0.5 -retries 4
+//	stress -scenario none -burst -burst-mb 64 -compress 1.8
 package main
 
 import (
@@ -61,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	cacheFlags := cliflags.AddCache(fs)
 	cacheFlags.AddFlushOnFail(fs)
 	collFlags := cliflags.AddCollective(fs)
+	burstFlags := cliflags.AddBurst(fs)
 	relFlags := cliflags.AddReliability(fs)
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting corruption (and scrubbing) after this many simulated seconds")
 	sweep := fs.String("sweep", "", "comma-separated checkpoint intervals to sweep (e.g. 0,1,2,4)")
@@ -88,6 +90,11 @@ func run(args []string, out io.Writer) error {
 	cacheFlags.Apply(&study.Machine.PFS)
 	if err := collFlags.Apply(&study.Machine.PFS); err != nil {
 		return err
+	}
+	if bcfg, err := burstFlags.Config(); err != nil {
+		return err
+	} else if bcfg.Enabled {
+		study.Burst = bcfg
 	}
 	relFlags.Apply(&study.Machine.PFS, sim.FromSeconds(*chaosWindow))
 
@@ -142,6 +149,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if rr.Final != nil && len(rr.Final.Sched) > 0 {
 		fmt.Fprintln(out, analysis.RenderSchedReport(rr.Final.Sched))
+	}
+	if rr.Final != nil && rr.Final.Burst != nil {
+		fmt.Fprintln(out, analysis.RenderBurstReport(rr.Final.Burst))
 	}
 	fmt.Fprint(out, analysis.RenderResilience(rr.Resilience()))
 	return nil

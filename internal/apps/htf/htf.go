@@ -52,6 +52,13 @@ type Config struct {
 	NodeFlopRate     float64
 
 	Seed uint64
+
+	// Ckpt, when non-nil, checkpoints the SCF loop: each completed pass is
+	// one work unit. On a restart (ResumeUnit > 0) the skeleton skips
+	// psetup and pargos — their outputs are pre-populated — restores node
+	// state from the checkpoint file, and resumes pscf at the committed
+	// pass.
+	Ckpt workload.Checkpointer
 }
 
 // RecomputeTimePerRecord returns the time to recompute one integral
@@ -214,6 +221,38 @@ func (a *App) Launch(m *workload.Machine, fs workload.FS) error {
 		return fmt.Errorf("htf: config wants %d nodes, machine has %d", cfg.Nodes, m.Nodes)
 	}
 
+	// A configured checkpointer may resume the SCF loop mid-way: the
+	// machine is freshly built after a crash, so psetup and pargos are not
+	// re-run and their output files must be pre-populated with exactly the
+	// extent the completed programs had produced.
+	resume := 0
+	if cfg.Ckpt != nil {
+		resume = cfg.Ckpt.ResumeUnit()
+	}
+	if resume > cfg.SCFPasses {
+		return fmt.Errorf("htf: resume pass %d beyond %d SCF passes", resume, cfg.SCFPasses)
+	}
+	if resume > 0 {
+		for _, name := range []string{"htf.setup", "htf.setup2"} {
+			var size int64
+			for _, r := range psetupWrites[name] {
+				size += int64(r.count) * r.bytes
+			}
+			if _, err := fs.Preload(name, size); err != nil {
+				return fmt.Errorf("htf: %w", err)
+			}
+		}
+		for node := 0; node < cfg.Nodes; node++ {
+			size := int64(a.RecordsForNode(node)) * cfg.RecordBytes
+			if node == 0 {
+				size += 2000 + 2000 + 30000 // pargos header records
+			}
+			if _, err := fs.Preload(integralFile(node), size); err != nil {
+				return fmt.Errorf("htf: %w", err)
+			}
+		}
+	}
+
 	fs.ReserveIDs(2)
 	for _, name := range []string{"htf.input", "htf.basis"} {
 		var size int64
@@ -240,6 +279,7 @@ func (a *App) Launch(m *workload.Machine, fs workload.FS) error {
 	}
 
 	var errs workload.NodeErrors
+	errs.Attach(m.Eng)
 	a.errs = &errs
 	pargosStart := sim.NewBarrier(m.Eng, "htf-pargos-start", cfg.Nodes)
 	pscfStart := sim.NewBarrier(m.Eng, "htf-pscf-start", cfg.Nodes)
@@ -253,6 +293,21 @@ func (a *App) Launch(m *workload.Machine, fs workload.FS) error {
 	for node := 0; node < cfg.Nodes; node++ {
 		node := node
 		m.Eng.Spawn(fmt.Sprintf("htf-n%d", node), func(p *sim.Process) {
+			if resume > 0 {
+				if node == 0 {
+					fs.SetPhase(PhasePscf)
+				}
+				pscfStart.Wait(p)
+				if err := cfg.Ckpt.Restore(p, fs, node); err != nil {
+					errs.Addf("pscf node %d restore: %v", node, err)
+					return
+				}
+				if err := a.runPscf(p, fs, node, resume, nodeRNG[node], passBarrier); err != nil {
+					errs.Addf("pscf node %d: %v", node, err)
+					return
+				}
+				return
+			}
 			if node == 0 {
 				if err := a.runPsetup(p, fs); err != nil {
 					errs.Addf("psetup: %v", err)
@@ -269,7 +324,7 @@ func (a *App) Launch(m *workload.Machine, fs workload.FS) error {
 			if node == 0 {
 				fs.SetPhase(PhasePscf)
 			}
-			if err := a.runPscf(p, fs, node, nodeRNG[node], passBarrier); err != nil {
+			if err := a.runPscf(p, fs, node, 0, nodeRNG[node], passBarrier); err != nil {
 				errs.Addf("pscf node %d: %v", node, err)
 				return
 			}
@@ -460,7 +515,8 @@ func residualFlushNodes(nodes int) int {
 
 // runPscf is the third program: every node rereads its integral file once
 // per SCF pass; node 0 additionally maintains the density/Fock side files.
-func (a *App) runPscf(p *sim.Process, fs workload.FS, node int, rng *sim.RNG, pass *sim.Barrier) error {
+// resume is the first pass to run (> 0 after a checkpoint restart).
+func (a *App) runPscf(p *sim.Process, fs workload.FS, node, resume int, rng *sim.RNG, pass *sim.Barrier) error {
 	cfg := a.cfg
 	h, err := fs.Open(p, node, integralFile(node), iotrace.ModeUnix)
 	if err != nil {
@@ -504,7 +560,7 @@ func (a *App) runPscf(p *sim.Process, fs workload.FS, node int, rng *sim.RNG, pa
 	}
 
 	records := a.RecordsForNode(node)
-	for ps := 0; ps < cfg.SCFPasses; ps++ {
+	for ps := resume; ps < cfg.SCFPasses; ps++ {
 		pass.Wait(p)
 		// Rewind to the start of the integral file. On the first pass the
 		// pointer is already at zero, so the traced seek distance sums to
@@ -526,6 +582,11 @@ func (a *App) runPscf(p *sim.Process, fs workload.FS, node int, rng *sim.RNG, pa
 				return err
 			}
 			p.Sleep(rng.Jitter(cfg.ComputePerSCFRead, 0.05))
+		}
+		if cfg.Ckpt != nil {
+			if err := cfg.Ckpt.AfterUnit(p, fs, node, ps); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -628,4 +689,13 @@ func (a *App) Err() error {
 		return nil
 	}
 	return a.errs.Err()
+}
+
+// FailedAt returns the simulated instant of the run's first node failure, if
+// any — the fault-injection driver's lost-work anchor.
+func (a *App) FailedAt() (sim.Time, bool) {
+	if a.errs == nil {
+		return 0, false
+	}
+	return a.errs.FirstAt()
 }

@@ -1,0 +1,69 @@
+package burst
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordRoundTrip: any well-formed record must survive a
+// seal/encode/decode cycle byte-exactly.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add(uint64(1), 0, "app.ckpt.0", int64(0), int64(4096), "checkpoint")
+	f.Add(uint64(1<<40), 127, "integrals.003", int64(81920*66), int64(81920), "pargos")
+	f.Add(uint64(0), 0, "", int64(0), int64(0), "")
+	f.Fuzz(func(t *testing.T, seq uint64, node int, file string, off, n int64, class string) {
+		if node < 0 || off < 0 || n < 0 {
+			t.Skip()
+		}
+		if len(file) > maxStringLen || len(class) > maxStringLen {
+			t.Skip()
+		}
+		r := Record{Seq: seq, Node: node, File: file, Offset: off, Bytes: n,
+			Class: class}.Seal()
+		if !r.Verify() {
+			t.Fatalf("sealed record does not verify: %+v", r)
+		}
+		enc := r.Encode()
+		dec, used, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded record: %v", err)
+		}
+		if used != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", used, len(enc))
+		}
+		if dec != r.withoutCommitAt() {
+			t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", dec, r)
+		}
+	})
+}
+
+// withoutCommitAt strips the in-memory-only field for roundtrip comparison.
+func (r Record) withoutCommitAt() Record {
+	r.commitAt = 0
+	return r
+}
+
+// FuzzDecodeRecord: arbitrary bytes must never panic the decoder, and
+// anything it accepts must verify and re-encode to exactly the bytes it
+// consumed.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(Record{Seq: 7, Node: 3, File: "log.dat", Offset: 512, Bytes: 8192,
+		Class: "pscf"}.Seal().Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x06, 0xf1, 0xb5})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		rec, used, err := DecodeRecord(buf)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(buf) {
+			t.Fatalf("accepted record consumed %d of %d bytes", used, len(buf))
+		}
+		if !rec.Verify() {
+			t.Fatalf("accepted record fails verification: %+v", rec)
+		}
+		if !bytes.Equal(rec.Encode(), buf[:used]) {
+			t.Fatalf("accepted record does not re-encode to its input")
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package burst
+
+import "repro/internal/sim"
+
+// Stats summarizes one tier instance's activity. All byte counts are logical
+// unless named otherwise.
+type Stats struct {
+	// Commit side.
+	Committed      int64    // records absorbed by the log
+	CommittedBytes int64    // logical bytes absorbed
+	Bypassed       int64    // records too large for the log, written through
+	BypassedBytes  int64    // bytes written through
+	CommitTime     sim.Time // summed node time inside commits (the stall the tier leaves)
+
+	// Backpressure and read synchronization.
+	Backpressure      int64    // commits that blocked on a full log
+	BackpressureStall sim.Time // summed time blocked on a full log
+	ReadStalls        int64    // reads that waited for a file's pending drain
+	ReadStallTime     sim.Time // summed time reads waited
+
+	// Drain side.
+	Drained      int64    // records landed on the PFS
+	DrainedBytes int64    // logical bytes landed
+	WireBytes    int64    // post-compression bytes physically transferred
+	CompressTime sim.Time // daemon time spent in the compression stage
+	VerifyTime   sim.Time // daemon time spent re-verifying record checksums
+	DrainTime    sim.Time // daemon busy time end to end
+	DrainRetries int64    // drain attempts beyond the first
+	DrainFails   int64    // records dropped after exhausting retries
+	VerifyFails  int64    // records dropped for a checksum mismatch
+	LastDrainEnd sim.Time // completion instant of the latest drain write
+
+	// Snapshot state (filled by Stats()).
+	UndrainedRecords int64 // records still in a node log
+	UndrainedBytes   int64 // logical bytes still in a node log
+}
+
+// CompressSavedBytes returns the drained volume compression removed.
+func (s Stats) CompressSavedBytes() int64 { return s.DrainedBytes - s.WireBytes }
+
+// AbsorbRatio returns the fraction of the tier's write bytes the log absorbed
+// (commits vs bypasses); 1 when nothing bypassed, 0 when the tier saw nothing.
+func (s Stats) AbsorbRatio() float64 {
+	total := s.CommittedBytes + s.BypassedBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CommittedBytes) / float64(total)
+}

@@ -52,6 +52,7 @@ type Stats struct {
 	RestoreTime   sim.Time // summed node-time re-reading checkpoints on restart
 	Restores      int      // node restore reads performed
 	VerifyRejects int      // checkpoint generations rejected by restart verification
+	DrainRejects  int      // generations rejected for records lost in a volatile burst log
 	Fallbacks     int      // restarts that fell back to the older generation
 }
 
@@ -174,6 +175,36 @@ func (c *Coordinator) VerifyRestart(v IntegrityVerifier) {
 		c.cur = other
 	}
 }
+
+// RejectUndrained invalidates checkpoint generations whose files still had
+// committed-but-undrained burst-log records when the attempt died: those
+// records lived in volatile node-local memory, so the generation on the PFS
+// is incomplete even though the application saw its writes complete. Like
+// VerifyRestart it walks newest-first and falls back to the older generation
+// (or to a cold start when both are incomplete). pending maps file name to
+// undrained bytes, as harvested from the dying tier.
+func (c *Coordinator) RejectUndrained(pending map[string]int64) {
+	for tries := 0; tries < len(c.slots); tries++ {
+		if !c.slots[c.cur].have {
+			return
+		}
+		if pending[c.fileOf(c.cur)] == 0 {
+			return
+		}
+		c.st.DrainRejects++
+		c.slots[c.cur] = slot{}
+		other := 1 - c.cur
+		if !c.slots[other].have {
+			return // both generations incomplete: cold start
+		}
+		c.st.Fallbacks++
+		c.cur = other
+	}
+}
+
+// FileBase returns the checkpoint file base name; the burst tier intercepts
+// writes under this prefix.
+func (c *Coordinator) FileBase() string { return c.cfg.FileName }
 
 // ResumeUnit implements workload.Checkpointer.
 func (c *Coordinator) ResumeUnit() int {

@@ -218,3 +218,52 @@ func TestCheckpointPhaseLabel(t *testing.T) {
 		t.Fatal("no trace events tagged with the checkpoint phase")
 	}
 }
+
+// TestRejectUndrainedFallsBack: a generation whose file still held undrained
+// burst-log records at the crash is incomplete on the PFS — the restart must
+// fall back to the older generation, and to a cold start when both are
+// pending.
+func TestRejectUndrainedFallsBack(t *testing.T) {
+	c, err := New(Config{Interval: 1, BytesPerNode: 1024}, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Units 0..2 with interval 1 commit three times: generations alternate,
+	// newest covers unit 3, the surviving older one unit 2.
+	if _, err := runUnits(t, c, 2, 3, 0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if c.ResumeUnit() != 3 {
+		t.Fatalf("ResumeUnit = %d, want 3", c.ResumeUnit())
+	}
+	newest := c.fileOf(c.cur)
+
+	// Newest generation partially drained at the crash: reject it, resume
+	// from the older one.
+	c.RejectUndrained(map[string]int64{newest: 4096})
+	st := c.Stats()
+	if st.DrainRejects != 1 || st.Fallbacks != 1 {
+		t.Fatalf("DrainRejects = %d Fallbacks = %d, want 1/1", st.DrainRejects, st.Fallbacks)
+	}
+	if c.ResumeUnit() != 2 {
+		t.Fatalf("ResumeUnit = %d after fallback, want 2", c.ResumeUnit())
+	}
+	if !c.Have() {
+		t.Fatal("older generation lost in fallback")
+	}
+
+	// A fully drained ledger rejects nothing.
+	c.RejectUndrained(map[string]int64{})
+	if got := c.Stats().DrainRejects; got != 1 {
+		t.Fatalf("clean ledger bumped DrainRejects to %d", got)
+	}
+
+	// Both generations pending: cold start.
+	c.RejectUndrained(map[string]int64{c.fileOf(0): 1, c.fileOf(1): 1})
+	if c.Have() || c.ResumeUnit() != 0 {
+		t.Fatalf("both-pending reject left have=%v resume=%d", c.Have(), c.ResumeUnit())
+	}
+	if got := c.Stats().DrainRejects; got != 2 {
+		t.Fatalf("DrainRejects = %d after cold-start reject, want 2", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 
+	"repro/internal/burst"
 	"repro/internal/cache"
 	"repro/internal/collective"
 	"repro/internal/fault"
@@ -113,6 +114,44 @@ func (r *Reliability) CorruptionPlan(cfg *pfs.Config, window sim.Time) (cp fault
 	}
 	cfg.Failover.Replicate = true
 	return cp, true, nil
+}
+
+// Burst bundles the host-side burst-log flags.
+type Burst struct {
+	On       *bool
+	MB       *float64
+	DrainMBs *float64
+	Compress *float64
+}
+
+// AddBurst registers -burst, -burst-mb, -burst-drain and -compress on fs.
+func AddBurst(fs *flag.FlagSet) *Burst {
+	return &Burst{
+		On:       fs.Bool("burst", false, "absorb checkpoint and M_LOG writes into per-compute-node burst logs, drained to the PFS asynchronously"),
+		MB:       fs.Float64("burst-mb", 64, "per-node burst-log capacity in MB (with -burst)"),
+		DrainMBs: fs.Float64("burst-drain", 0, "per-node drain bandwidth cap in MB/s, 0 = PFS-limited (with -burst)"),
+		Compress: fs.Float64("compress", 1.8, "drain-stage compression ratio, logical/wire; 1 disables the stage (with -burst)"),
+	}
+}
+
+// Config builds the burst tier configuration the parsed flags describe; the
+// zero (disabled) Config when -burst was not given.
+func (b *Burst) Config() (burst.Config, error) {
+	if !*b.On {
+		return burst.Config{}, nil
+	}
+	cfg := burst.DefaultConfig()
+	cfg.CapacityBytes = int64(*b.MB * float64(1<<20))
+	cfg.DrainBWBytesPerS = *b.DrainMBs * float64(1<<20)
+	if *b.Compress <= 1 {
+		cfg.Compress = burst.CompressConfig{}
+	} else {
+		cfg.Compress.Ratio = *b.Compress
+	}
+	if err := cfg.Validate(); err != nil {
+		return burst.Config{}, err
+	}
+	return cfg, nil
 }
 
 // Collective bundles the two-phase aggregation and disk-scheduling flags.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps/escat"
 	"repro/internal/apps/htf"
 	"repro/internal/apps/render"
+	"repro/internal/burst"
 	"repro/internal/collective"
 	"repro/internal/fault"
 	"repro/internal/ionode"
@@ -45,6 +46,13 @@ type Study struct {
 	// Policy, when non-nil, routes the application through a PPFS layer
 	// with these policies (the §5.2 experiment); nil runs on raw PFS.
 	Policy *ppfs.Policy
+
+	// Burst, when enabled, interposes the per-compute-node burst-buffer
+	// tier between the application and the PFS (checkpoint and M_LOG
+	// writes commit locally and drain in the background). Mutually
+	// exclusive with Policy — both are client-side layers over the same
+	// seam.
+	Burst burst.Config
 
 	// KeepTrace buffers the full event trace (needed for figures); when
 	// false only real-time reductions run (Pablo's low-perturbation mode).
@@ -139,6 +147,10 @@ type Report struct {
 	// study ran without collective I/O.
 	Collective *collective.Stats
 
+	// Burst is the burst-tier report; nil when the study ran without the
+	// tier.
+	Burst *analysis.BurstReport
+
 	// Sched is the per-I/O-node disk-scheduler report; empty when the nodes
 	// ran the legacy FIFO queue.
 	Sched []ionode.SchedStats
@@ -166,6 +178,7 @@ type runtime struct {
 	lifetime   *pablo.LifetimeReducer
 	windows    *pablo.WindowReducer
 	layer      *ppfs.FileSystem
+	burst      *burst.Tier
 	app        workload.App
 }
 
@@ -209,6 +222,16 @@ func prepare(s Study) (Study, *runtime, error) {
 		m.PFS.SetRecorder(rt.tracer)
 		rt.fs = workload.WrapPFS(m.PFS)
 	}
+	if s.Burst.Enabled {
+		if s.Policy != nil {
+			return s, nil, fmt.Errorf("core: the burst tier and a PPFS policy layer are mutually exclusive")
+		}
+		rt.burst, err = burst.New(m.Eng, m.PFS, m.Nodes, s.Burst)
+		if err != nil {
+			return s, nil, err
+		}
+		rt.fs = rt.burst
+	}
 
 	rt.app, err = buildApp(s)
 	if err != nil {
@@ -229,7 +252,11 @@ func (rt *runtime) inject(s Study, events []fault.Event) *fault.Injector {
 	if len(events) == 0 {
 		return nil
 	}
-	return fault.Inject(rt.m.Eng, rt.m.PFS.IONodes(), events)
+	hooks := fault.NodeLossHooks{Nodes: rt.m.Nodes, Halt: rt.m.Eng.Stop}
+	if rt.burst != nil {
+		hooks.Undrained = rt.burst.UndrainedNode
+	}
+	return fault.Inject(rt.m.Eng, rt.m.PFS.IONodes(), events, hooks)
 }
 
 // clockPadded reports whether background processes (bit-rot drivers, the
@@ -237,7 +264,7 @@ func (rt *runtime) inject(s Study, events []fault.Event) *fault.Injector {
 // the application's finish, so the run's wall clock must come from the trace.
 func (rt *runtime) clockPadded(s Study) bool {
 	return !s.Faults.Corruption.Empty() || rt.m.PFS.ScrubWindowEnd() > 0 ||
-		rt.m.PFS.CollectiveEnabled()
+		rt.m.PFS.CollectiveEnabled() || rt.burst != nil
 }
 
 // report assembles the study's report after a completed run.
@@ -265,6 +292,9 @@ func (rt *runtime) report(s Study) *Report {
 	if st, ok := rt.m.PFS.CollectiveStats(); ok {
 		r.Collective = &st
 	}
+	if rt.burst != nil {
+		r.Burst = analysis.BuildBurstReport(rt.burst.Stats(), r.Events)
+	}
 	r.Sched = rt.m.PFS.SchedStats()
 	r.PhysRequests = rt.m.PFS.PhysRequests()
 	if !s.Faults.Corruption.Empty() {
@@ -289,7 +319,7 @@ func Run(s Study) (*Report, error) {
 	}
 	var events []fault.Event
 	if !s.Faults.Empty() {
-		events = s.Faults.Materialize(s.FaultSeed, s.Machine.PFS.IONodes)
+		events = s.Faults.Materialize(s.FaultSeed, s.Machine.PFS.IONodes, s.Machine.ComputeNodes)
 	}
 	inj := rt.inject(s, events)
 	runErr := workload.Run(rt.m, rt.fs, rt.app)
@@ -298,6 +328,14 @@ func Run(s Study) (*Report, error) {
 			// Node-program failures are the root cause; a deadlock from the
 			// abandoned barrier group is their symptom.
 			return nil, fmt.Errorf("%s: %w", s.App, err)
+		}
+	}
+	if inj != nil {
+		if nl, ok := inj.FirstNodeLoss(); ok {
+			// A compute-node loss halts the engine without a node error:
+			// the job was killed, like the real machine would.
+			return nil, fmt.Errorf("%s: compute node %d lost at %v (%d undrained burst-log bytes)",
+				s.App, nl.Node, nl.At, nl.UndrainedBytes)
 		}
 	}
 	if runErr != nil {
@@ -345,6 +383,7 @@ func mergeIncidents(a, b []fault.Incident) []fault.Incident {
 func mergeDefaults(s Study) Study {
 	d := PaperStudy(s.App)
 	d.Policy = s.Policy
+	d.Burst = s.Burst
 	d.KeepTrace = s.KeepTrace
 	if s.WindowWidth > 0 {
 		d.WindowWidth = s.WindowWidth

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/apps/escat"
+	"repro/internal/apps/htf"
 	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/iotrace"
@@ -59,6 +60,10 @@ type ResilientReport struct {
 	Ckpt      ckpt.Stats
 	LostWork  sim.Time // computed work discarded by failures
 	Wall      sim.Time // absolute completion time including restarts
+
+	// BurstLostBytes counts burst-log bytes that died undrained with failed
+	// attempts — committed by the application but never persisted to the PFS.
+	BurstLostBytes int64
 }
 
 // failedAtter lets the driver read the simulated instant an app first died.
@@ -78,6 +83,14 @@ func attachCkpt(s *Study, c workload.Checkpointer) bool {
 		cfg.Ckpt = c
 		s.ESCATConfig = &cfg
 		return true
+	case HTF:
+		cfg := htf.DefaultConfig()
+		if s.HTFConfig != nil {
+			cfg = *s.HTFConfig
+		}
+		cfg.Ckpt = c
+		s.HTFConfig = &cfg
+		return true
 	}
 	return false
 }
@@ -91,17 +104,25 @@ func appNodes(s Study) int {
 			return s.ESCATConfig.Nodes
 		}
 		return escat.DefaultConfig().Nodes
+	case HTF:
+		if s.HTFConfig != nil {
+			return s.HTFConfig.Nodes
+		}
+		return htf.DefaultConfig().Nodes
 	}
 	return s.Machine.ComputeNodes
 }
 
 // lastEventEnd returns the completion instant of the latest traced operation
 // — the application's effective finish, excluding injector processes (a
-// background RAID rebuild, say) that keep the simulated clock running after
-// the application is done.
+// background RAID rebuild, say) and burst-tier drain writes that keep the
+// simulated clock running after the application is done.
 func lastEventEnd(events []iotrace.Event) sim.Time {
 	var end sim.Time
 	for _, e := range events {
+		if e.Phase == pfs.PhaseBurstDrain {
+			continue
+		}
 		if e.End > end {
 			end = e.End
 		}
@@ -138,7 +159,7 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 
 	var events []fault.Event
 	if !s.Faults.Empty() {
-		events = s.Faults.Materialize(s.FaultSeed, s.Machine.PFS.IONodes)
+		events = s.Faults.Materialize(s.FaultSeed, s.Machine.PFS.IONodes, s.Machine.ComputeNodes)
 	}
 
 	rr := &ResilientReport{}
@@ -155,6 +176,11 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 		if coord != nil {
 			if err := coord.Prepare(rt.m, rt.fs, base); err != nil {
 				return nil, err
+			}
+			if rt.burst != nil {
+				// Route checkpoint files through the burst tier regardless
+				// of the I/O mode the checkpointer opens them with.
+				rt.burst.InterceptPrefix(coord.FileBase())
 			}
 		}
 		rt.m.PFS.InjectCorruption(carried)
@@ -176,6 +202,17 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 		var nodeErr error
 		if ae, ok := rt.app.(appErr); ok {
 			nodeErr = ae.Err()
+		}
+		var nodeLoss *fault.NodeLossEvent
+		if inj != nil {
+			if nl, ok := inj.FirstNodeLoss(); ok {
+				nodeLoss = &nl
+				if nodeErr == nil {
+					// The loss froze the engine before any node program
+					// could observe an error; the attempt is dead anyway.
+					nodeErr = fmt.Errorf("compute node %d lost at %v", nl.Node, nl.At)
+				}
+			}
 		}
 		if nodeErr == nil && runErr != nil {
 			// Not an application death from a fault: a real failure.
@@ -213,6 +250,9 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 		failedAt, ok := failAt(rt.app)
 		if !ok {
 			failedAt = rt.m.Eng.Now()
+			if nodeLoss != nil {
+				failedAt = nodeLoss.At
+			}
 		}
 		if inj != nil {
 			inj.CloseOpen(failedAt)
@@ -224,6 +264,18 @@ func RunResilient(rs ResilientStudy) (*ResilientReport, error) {
 		rr.addIncidents(fault.CorruptionIncidents(rt.m.PFS.IntegrityEvents()), base)
 		// Harvest the dying storage's corruption ledger for the next attempt.
 		carried = rt.m.PFS.HarvestCorruption()
+		if rt.burst != nil {
+			// Undrained log content dies with the attempt: it was committed
+			// to volatile node memory, never to the PFS. Checkpoint
+			// generations with pending records are not restartable.
+			und := rt.burst.UndrainedFiles()
+			for _, b := range und {
+				rr.BurstLostBytes += b
+			}
+			if coord != nil {
+				coord.RejectUndrained(und)
+			}
+		}
 		lostFrom := base
 		if coord != nil && coord.Have() && coord.LastCommitAt() > base {
 			lostFrom = coord.LastCommitAt()

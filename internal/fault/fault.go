@@ -52,6 +52,14 @@ const (
 	// silently overwriting a victim block; parity is consistent with the
 	// wrong data, so detection rides on the checksum's embedded identity.
 	MisdirectedWrite
+
+	// NodeLoss kills a compute node (Event.Node indexes the compute
+	// partition, not the I/O nodes). The job dies with it — and so does
+	// everything in the node's volatile burst-buffer log, which is the
+	// point: undrained checkpoint records are lost work the resilience
+	// driver must account for. Duration is ignored; a lost node stays
+	// lost for the attempt.
+	NodeLoss
 )
 
 // String returns the kind's report label.
@@ -69,6 +77,8 @@ func (k Kind) String() string {
 		return "torn-write"
 	case MisdirectedWrite:
 		return "misdirected-write"
+	case NodeLoss:
+		return "node-loss"
 	}
 	return fmt.Sprintf("fault.Kind(%d)", int(k))
 }
@@ -89,6 +99,8 @@ func ParseKind(s string) (Kind, error) {
 		return TornWrite, nil
 	case "misdirected-write":
 		return MisdirectedWrite, nil
+	case "node-loss":
+		return NodeLoss, nil
 	}
 	return 0, fmt.Errorf("fault: unknown kind %q", s)
 }
@@ -101,8 +113,8 @@ const AnyNode = -1
 type Event struct {
 	Kind     Kind
 	At       sim.Time // injection instant
-	Node     int      // I/O-node index, or AnyNode
-	Duration sim.Time // outage/storm length; ignored for DiskFailure
+	Node     int      // I/O-node index (compute-node index for NodeLoss), or AnyNode
+	Duration sim.Time // outage/storm length; ignored for DiskFailure and NodeLoss
 	Factor   float64  // latency-storm service multiplier (> 1)
 }
 
@@ -151,26 +163,39 @@ func (pl Plan) Empty() bool {
 }
 
 // Materialize expands the plan into a concrete event schedule for a machine
-// with the given number of I/O nodes, resolving AnyNode targets and drawing
-// exponential arrivals from a generator seeded with seed. The expansion is
-// deterministic: events are resolved in plan order, then each Exp and each
-// Cascade in order, and the result is sorted by injection time (stable, so
-// same-instant events keep plan order).
-func (pl Plan) Materialize(seed uint64, ionodes int) []Event {
+// with the given number of I/O nodes and compute nodes, resolving AnyNode
+// targets and drawing exponential arrivals from a generator seeded with seed.
+// NodeLoss events resolve against the compute partition; every other kind
+// against the I/O nodes. The expansion is deterministic: events are resolved
+// in plan order, then each Exp and each Cascade in order, and the result is
+// sorted by injection time (stable, so same-instant events keep plan order).
+// Random node draws happen only for AnyNode targets, so a plan without them
+// materializes identically at any partition size.
+func (pl Plan) Materialize(seed uint64, ionodes, computeNodes int) []Event {
 	if ionodes < 1 {
 		panic("fault: Materialize with no I/O nodes")
 	}
-	rng := sim.NewRNG(seed)
-	pick := func(node int) int {
-		if node == AnyNode {
-			return rng.Intn(ionodes)
-		}
-		return ((node % ionodes) + ionodes) % ionodes
+	if computeNodes < 1 {
+		computeNodes = 1
 	}
+	rng := sim.NewRNG(seed)
+	pickIn := func(node, pool int) int {
+		if node == AnyNode {
+			return rng.Intn(pool)
+		}
+		return ((node % pool) + pool) % pool
+	}
+	pool := func(k Kind) int {
+		if k == NodeLoss {
+			return computeNodes
+		}
+		return ionodes
+	}
+	pick := func(k Kind, node int) int { return pickIn(node, pool(k)) }
 
 	var out []Event
 	for _, e := range pl.Events {
-		e.Node = pick(e.Node)
+		e.Node = pick(e.Kind, e.Node)
 		out = append(out, e)
 	}
 	for _, x := range pl.Exps {
@@ -189,7 +214,7 @@ func (pl Plan) Materialize(seed uint64, ionodes int) []Event {
 				break
 			}
 			out = append(out, Event{
-				Kind: x.Kind, At: at, Node: pick(x.Node),
+				Kind: x.Kind, At: at, Node: pick(x.Kind, x.Node),
 				Duration: x.Duration, Factor: x.Factor,
 			})
 		}
@@ -198,11 +223,11 @@ func (pl Plan) Materialize(seed uint64, ionodes int) []Event {
 		if c.Nodes < 1 {
 			continue
 		}
-		first := pick(c.FirstNode)
+		first := pick(c.Kind, c.FirstNode)
 		for i := 0; i < c.Nodes; i++ {
 			out = append(out, Event{
 				Kind: c.Kind, At: c.At + sim.Time(i)*c.Spacing,
-				Node:     (first + i) % ionodes,
+				Node:     (first + i) % pool(c.Kind),
 				Duration: c.Duration, Factor: c.Factor,
 			})
 		}

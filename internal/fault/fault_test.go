@@ -28,12 +28,12 @@ func testPlan() Plan {
 
 func TestMaterializeDeterministic(t *testing.T) {
 	pl := testPlan()
-	a := pl.Materialize(42, 4)
-	b := pl.Materialize(42, 4)
+	a := pl.Materialize(42, 4, 8)
+	b := pl.Materialize(42, 4, 8)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("same seed materialized different schedules")
 	}
-	c := pl.Materialize(43, 4)
+	c := pl.Materialize(43, 4, 8)
 	if reflect.DeepEqual(a, c) {
 		t.Fatal("different seeds materialized identical schedules (suspicious)")
 	}
@@ -54,7 +54,7 @@ func TestMaterializeExpWindow(t *testing.T) {
 		Kind: IONodeOutage, MeanBetween: sim.Second,
 		Start: 10 * sim.Second, End: 30 * sim.Second, Node: 0, Duration: sim.Second,
 	}}}
-	evs := pl.Materialize(7, 2)
+	evs := pl.Materialize(7, 2, 8)
 	if len(evs) == 0 {
 		t.Fatal("20 s window at 1 s mean produced no failures")
 	}
@@ -70,7 +70,7 @@ func TestMaterializeCascade(t *testing.T) {
 		Kind: LatencyStorm, At: sim.Second, Nodes: 3, FirstNode: 3,
 		Spacing: sim.Second, Duration: sim.Second, Factor: 2,
 	}}}
-	evs := pl.Materialize(1, 4)
+	evs := pl.Materialize(1, 4, 8)
 	if len(evs) != 3 {
 		t.Fatalf("cascade produced %d events, want 3", len(evs))
 	}
@@ -119,7 +119,7 @@ func TestInjectorOutageWindow(t *testing.T) {
 	nodes := testNodes(eng, 2, cfg)
 	inj := Inject(eng, nodes, []Event{
 		{Kind: IONodeOutage, At: sim.Second, Node: 1, Duration: 2 * sim.Second},
-	})
+	}, NodeLossHooks{})
 	var during, after bool
 	eng.SpawnAt("probe", 1500*sim.Millisecond, func(p *sim.Process) {
 		during = nodes[1].Down()
@@ -145,7 +145,7 @@ func TestInjectorDiskFailureRebuilds(t *testing.T) {
 	cfg.RebuildSliceBytes = 1 << 20
 	cfg.RebuildBWBytesPerS = 4 << 20
 	nodes := testNodes(eng, 1, cfg)
-	inj := Inject(eng, nodes, []Event{{Kind: DiskFailure, At: sim.Second, Node: 0}})
+	inj := Inject(eng, nodes, []Event{{Kind: DiskFailure, At: sim.Second, Node: 0}}, NodeLossHooks{})
 	var during bool
 	eng.SpawnAt("probe", 1100*sim.Millisecond, func(p *sim.Process) {
 		during = nodes[0].Array().Degraded()
@@ -179,7 +179,7 @@ func TestInjectorSecondDiskFailureKills(t *testing.T) {
 	inj := Inject(eng, nodes, []Event{
 		{Kind: DiskFailure, At: sim.Second, Node: 0},
 		{Kind: DiskFailure, At: 2 * sim.Second, Node: 0},
-	})
+	}, NodeLossHooks{})
 	if err := eng.RunUntil(10 * sim.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestInjectorStorm(t *testing.T) {
 	nodes := testNodes(eng, 1, disk.DefaultArrayConfig())
 	Inject(eng, nodes, []Event{
 		{Kind: LatencyStorm, At: sim.Second, Node: 0, Duration: sim.Second, Factor: 4},
-	})
+	}, NodeLossHooks{})
 	var during float64
 	eng.SpawnAt("probe", 1500*sim.Millisecond, func(p *sim.Process) {
 		during = nodes[0].LatencyFactor()

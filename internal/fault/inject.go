@@ -20,6 +20,27 @@ type Incident struct {
 	Note  string   // e.g. "array dead (second drive failure)"
 }
 
+// NodeLossHooks connects NodeLoss events to the compute side of the machine,
+// which the injector cannot reach through the I/O-node population. Nodes is
+// the compute-partition size (loss events targeting nodes outside it are
+// ignored); Undrained reports a node's volatile burst-log content at the loss
+// instant (nil or zero without a burst tier); Halt freezes the simulation —
+// the job is dead, and nothing (including background drains from surviving
+// nodes' logs, which are equally volatile job state in this model) runs on.
+type NodeLossHooks struct {
+	Nodes     int
+	Undrained func(node int) (bytes, records int64)
+	Halt      func()
+}
+
+// NodeLossEvent is one realized compute-node loss.
+type NodeLossEvent struct {
+	Node             int
+	At               sim.Time
+	UndrainedBytes   int64
+	UndrainedRecords int64
+}
+
 // Injector owns the driver processes that realize a materialized schedule
 // against a machine's I/O nodes. Create one per simulation run with Inject,
 // before the engine runs.
@@ -27,18 +48,30 @@ type Injector struct {
 	nodes     []*ionode.Node
 	incidents []Incident
 	downCount []int // overlapping-outage refcount per node
+	hooks     NodeLossHooks
+	losses    []NodeLossEvent
 }
 
 // Inject arms every event in the schedule: each fault gets a driver process
 // spawned at its injection time. Events targeting nodes outside the machine
-// are ignored. The returned Injector accumulates the incident timeline.
-func Inject(eng *sim.Engine, nodes []*ionode.Node, events []Event) *Injector {
-	inj := &Injector{nodes: nodes, downCount: make([]int, len(nodes))}
+// are ignored. hooks wires NodeLoss events to the compute partition; the zero
+// value disables them. The returned Injector accumulates the incident
+// timeline.
+func Inject(eng *sim.Engine, nodes []*ionode.Node, events []Event, hooks NodeLossHooks) *Injector {
+	inj := &Injector{nodes: nodes, downCount: make([]int, len(nodes)), hooks: hooks}
 	for _, ev := range events {
+		ev := ev
+		if ev.Kind == NodeLoss {
+			if ev.Node < 0 || ev.Node >= hooks.Nodes {
+				continue
+			}
+			name := fmt.Sprintf("fault:%v@node%d", ev.Kind, ev.Node)
+			eng.SpawnAt(name, ev.At, func(p *sim.Process) { inj.runNodeLoss(p, ev) })
+			continue
+		}
 		if ev.Node < 0 || ev.Node >= len(nodes) {
 			continue
 		}
-		ev := ev
 		name := fmt.Sprintf("fault:%v@ion%d", ev.Kind, ev.Node)
 		switch ev.Kind {
 		case IONodeOutage:
@@ -50,6 +83,47 @@ func Inject(eng *sim.Engine, nodes []*ionode.Node, events []Event) *Injector {
 		}
 	}
 	return inj
+}
+
+// runNodeLoss kills a compute node: it snapshots the node's volatile
+// burst-log content for the lost-work accounting, records the incident, and
+// halts the simulation — the parallel job cannot survive a member's death.
+// Only the first loss acts; the machine is already dead for any later one.
+func (inj *Injector) runNodeLoss(p *sim.Process, ev Event) {
+	if len(inj.losses) > 0 {
+		return
+	}
+	loss := NodeLossEvent{Node: ev.Node, At: p.Now()}
+	if inj.hooks.Undrained != nil {
+		loss.UndrainedBytes, loss.UndrainedRecords = inj.hooks.Undrained(ev.Node)
+	}
+	inj.losses = append(inj.losses, loss)
+	i := inj.begin(ev, p.Now())
+	note := "compute node lost"
+	if loss.UndrainedBytes > 0 {
+		note = fmt.Sprintf("compute node lost, %d undrained log bytes in %d records",
+			loss.UndrainedBytes, loss.UndrainedRecords)
+	}
+	inj.close(i, p.Now(), note)
+	if inj.hooks.Halt != nil {
+		inj.hooks.Halt()
+	}
+}
+
+// FirstNodeLoss returns the realized compute-node loss that killed the run,
+// if any.
+func (inj *Injector) FirstNodeLoss() (NodeLossEvent, bool) {
+	if len(inj.losses) == 0 {
+		return NodeLossEvent{}, false
+	}
+	return inj.losses[0], true
+}
+
+// NodeLosses returns all realized compute-node losses.
+func (inj *Injector) NodeLosses() []NodeLossEvent {
+	out := make([]NodeLossEvent, len(inj.losses))
+	copy(out, inj.losses)
+	return out
 }
 
 // begin opens an incident and returns its index.

@@ -49,6 +49,46 @@ func (fs *FileSystem) Access(p *sim.Process, node int, name string, op iotrace.O
 	return n, nil
 }
 
+// PhaseBurstDrain labels trace events issued by the burst tier's drain
+// daemons, so analyses (and the run's wall-clock accounting) can separate
+// background drain traffic from the application's own.
+const PhaseBurstDrain = "burst-drain"
+
+// DrainWrite is the burst tier's drain entry point: it transfers wire bytes
+// (the post-compression volume) through the normal chunk path at [off,
+// off+wire) but extends the file to off+logical, since compression shrinks
+// the physical transfer, not the logical image. The event is recorded under
+// PhaseBurstDrain with the logical size. Failover, caching, and integrity
+// tracking all apply — the drain is a regular client of the storage stack.
+func (fs *FileSystem) DrainWrite(p *sim.Process, node int, name string, off, logical, wire int64) error {
+	if off < 0 || logical < 0 || wire < 0 || wire > logical {
+		return fmt.Errorf("pfs: drain write at %d for %d/%d: %w", off, logical, wire, ErrBadRequest)
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("drain write %q: %w", name, ErrNotExist)
+	}
+	start := p.Now()
+	p.Sleep(fs.cfg.Cost.ClientOverhead)
+	if wire > 0 {
+		if err := fs.transfer(p, node, f, off, wire, false); err != nil {
+			return err
+		}
+	}
+	f.extend(off + logical)
+	fs.recordPhase(node, iotrace.OpWrite, f, off, logical, start, iotrace.ModeAsync, PhaseBurstDrain)
+	return nil
+}
+
+// RecordClientOp captures an operation a client-side layer completed without
+// touching the PFS (a burst-tier commit): the application saw it, so the
+// trace must too. No simulation time is charged; the caller already modeled
+// the cost.
+func (fs *FileSystem) RecordClientOp(node int, op iotrace.Op, name string, off, bytes int64,
+	start sim.Time, mode iotrace.AccessMode) {
+	fs.record(node, op, fs.files[name], off, bytes, start, mode)
+}
+
 // MetaVisit charges one visit to the metadata server with the given service
 // time and records it as an operation of class op (with no file context).
 // Trace-replay engines use it to reproduce open/close/metadata contention on

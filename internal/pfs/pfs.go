@@ -168,6 +168,14 @@ func (fs *FileSystem) IONodes() []*ionode.Node { return fs.ion }
 // record captures one completed operation and accumulates summary counters.
 func (fs *FileSystem) record(node int, op iotrace.Op, f *File, offset, bytes int64,
 	start sim.Time, mode iotrace.AccessMode) {
+	fs.recordPhase(node, op, f, offset, bytes, start, mode, fs.phase)
+}
+
+// recordPhase is record with an explicit phase label, for operations that are
+// not the application's own (the burst tier's drain writes carry their phase
+// regardless of what the application is doing at drain time).
+func (fs *FileSystem) recordPhase(node int, op iotrace.Op, f *File, offset, bytes int64,
+	start sim.Time, mode iotrace.AccessMode, phase string) {
 	fs.seq++
 	var id iotrace.FileID
 	if f != nil {
@@ -177,7 +185,7 @@ func (fs *FileSystem) record(node int, op iotrace.Op, f *File, offset, bytes int
 	fs.rec.Record(iotrace.Event{
 		Seq: fs.seq, Node: node, Op: op, File: id,
 		Offset: offset, Bytes: bytes, Start: start, End: end,
-		Mode: mode, Phase: fs.phase,
+		Mode: mode, Phase: phase,
 	})
 	fs.opCount[op]++
 	if op.Moves() {

@@ -19,6 +19,7 @@ package iochar
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/burst"
 	"repro/internal/cache"
 	"repro/internal/ckpt"
 	"repro/internal/collective"
@@ -255,6 +256,54 @@ func RenderCorruptionSweep(rows []CorruptionSweepRow) string {
 // RenderIntegrityOverhead formats the verify-overhead sweep as a table.
 func RenderIntegrityOverhead(rows []IntegrityOverheadRow) string {
 	return analysis.RenderIntegrityOverhead(rows)
+}
+
+// Host-side burst buffering: a per-compute-node log tier between the
+// application and the PFS, absorbing checkpoint and M_LOG writes at local
+// bandwidth and draining them asynchronously through a modeled compression
+// stage.
+
+// BurstConfig parameterizes the burst tier (set as Study.Burst; mutually
+// exclusive with a PPFS Policy — both are client-side layers over the same
+// seam). BurstCompressConfig is its drain-stage compression model.
+type (
+	BurstConfig         = burst.Config
+	BurstCompressConfig = burst.CompressConfig
+)
+
+// BurstStats is the tier's counter set: commits, drains, bypasses,
+// backpressure, and the undrained residue.
+type BurstStats = burst.Stats
+
+// BurstReport is a run's burst-tier section (Report.Burst carries it when the
+// study ran with the tier); BurstComparison one application's direct-versus-
+// tier outcome.
+type (
+	BurstReport     = analysis.BurstReport
+	BurstComparison = analysis.BurstComparison
+)
+
+// DefaultBurstConfig returns the default tier: a 64 MB node log committing at
+// 400 MB/s with 1.8x compression on the drain path.
+func DefaultBurstConfig() BurstConfig { return burst.DefaultConfig() }
+
+// BurstOutputPrefixes returns the file-name prefixes of an application's bulk
+// output traffic, for routing ordinary writes through the log (none of the
+// paper's applications use M_LOG).
+func BurstOutputPrefixes(app AppID) []string { return core.OutputPrefixes(app) }
+
+// BurstSweep runs the three applications direct and through the tier under
+// one checkpoint policy and reports the makespan and checkpoint-stall change.
+func BurstSweep(small bool, ck CheckpointConfig, bcfg BurstConfig) ([]BurstComparison, error) {
+	return core.BurstSweep(small, ck, bcfg)
+}
+
+// RenderBurstReport formats a run's burst-tier section as text.
+func RenderBurstReport(r *BurstReport) string { return analysis.RenderBurstReport(r) }
+
+// RenderBurstSweep formats a direct-versus-tier comparison table.
+func RenderBurstSweep(title string, rows []BurstComparison) string {
+	return analysis.RenderBurstSweep(title, rows)
 }
 
 // Two-phase collective I/O and disk scheduling (the paper's §10 call for
