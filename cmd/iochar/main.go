@@ -31,6 +31,7 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/ppfs"
 	"repro/internal/profiling"
+	"repro/internal/scenario"
 	"repro/internal/sddf"
 	"repro/internal/sim"
 )
@@ -57,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	cacheFlags := cliflags.AddCache(fs)
 	collFlags := cliflags.AddCollective(fs)
 	burstFlags := cliflags.AddBurst(fs)
+	scenarioFlag := cliflags.AddScenario(fs, "scenario")
 	mtbf := fs.Float64("mtbf", 0, "inject I/O-node outages with this exponential mean time between failures in seconds (0 = none)")
 	outage := fs.Float64("outage", 5, "duration in seconds of each injected outage")
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting faults after this many simulated seconds")
@@ -72,61 +74,84 @@ func run(args []string, out io.Writer) error {
 	defer prof.Stop()
 
 	var study core.Study
-	if *small {
-		study = core.SmallStudy(core.AppID(*app))
-	} else {
-		study = core.PaperStudy(core.AppID(*app))
-	}
-	study.WindowWidth = sim.FromSeconds(*window)
-
-	switch *policy {
-	case "none":
-	case "ppfs":
-		pol := ppfs.DefaultPolicy()
-		study.Policy = &pol
-	case "adaptive":
-		pol := ppfs.DefaultPolicy()
-		pol.Adaptive = true
-		study.Policy = &pol
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
-	}
-
-	cacheFlags.Apply(&study.Machine.PFS)
-	if err := collFlags.Apply(&study.Machine.PFS); err != nil {
-		return err
-	}
-	if bcfg, err := burstFlags.Config(); err != nil {
-		return err
-	} else if bcfg.Enabled {
-		// iochar runs without checkpointing, so route the application's bulk
-		// output files through the log by name prefix — otherwise the tier
-		// would sit idle (no application in the suite uses M_LOG).
-		bcfg.Prefixes = append(core.OutputPrefixes(core.AppID(*app)), bcfg.Prefixes...)
-		study.Burst = bcfg
-	}
-
-	if *mtbf > 0 {
-		// Chaos runs need the failover policy on (with replication) so the
-		// application survives the injected outages.
-		study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
-		study.Machine.PFS.Failover.Replicate = true
-		study.Faults = fault.Plan{Exps: []fault.Exp{{
-			Kind:        fault.IONodeOutage,
-			MeanBetween: sim.FromSeconds(*mtbf),
-			Start:       0, End: sim.FromSeconds(*chaosWindow),
-			Node:     fault.AnyNode,
-			Duration: sim.FromSeconds(*outage),
-		}}}
-		study.FaultSeed = *seed
-	}
-
-	relFlags.Apply(&study.Machine.PFS, sim.FromSeconds(*chaosWindow))
-	if cp, ok, err := relFlags.CorruptionPlan(&study.Machine.PFS, sim.FromSeconds(*chaosWindow)); err != nil {
+	if sc, ok, err := scenarioFlag.Load(); err != nil {
 		return err
 	} else if ok {
-		study.Faults.Corruption = cp
-		study.FaultSeed = *seed
+		// A scenario file drives the whole study — app, scale, policy,
+		// features, fleet and chaos — so the flag-driven knobs below are
+		// bypassed. iochar runs a single attempt of it (no restart loop;
+		// use 'stress scenario run' for the resilience semantics).
+		rs, fleet, err := sc.Build()
+		if err != nil {
+			return err
+		}
+		study = rs.Study
+		*app = sc.Workload.App
+		if study.Burst.Enabled {
+			// iochar runs without checkpointing: route the application's
+			// bulk output through the log by name prefix, as with -burst.
+			study.Burst.Prefixes = append(core.OutputPrefixes(core.AppID(*app)), study.Burst.Prefixes...)
+		}
+		if fl := scenario.RenderFleet(fleet); fl != "" {
+			fmt.Fprint(out, fl)
+		}
+	} else {
+		if *small {
+			study = core.SmallStudy(core.AppID(*app))
+		} else {
+			study = core.PaperStudy(core.AppID(*app))
+		}
+		study.WindowWidth = sim.FromSeconds(*window)
+
+		switch *policy {
+		case "none":
+		case "ppfs":
+			pol := ppfs.DefaultPolicy()
+			study.Policy = &pol
+		case "adaptive":
+			pol := ppfs.DefaultPolicy()
+			pol.Adaptive = true
+			study.Policy = &pol
+		default:
+			return fmt.Errorf("unknown policy %q", *policy)
+		}
+
+		cacheFlags.Apply(&study.Machine.PFS)
+		if err := collFlags.Apply(&study.Machine.PFS); err != nil {
+			return err
+		}
+		if bcfg, err := burstFlags.Config(); err != nil {
+			return err
+		} else if bcfg.Enabled {
+			// iochar runs without checkpointing, so route the application's bulk
+			// output files through the log by name prefix — otherwise the tier
+			// would sit idle (no application in the suite uses M_LOG).
+			bcfg.Prefixes = append(core.OutputPrefixes(core.AppID(*app)), bcfg.Prefixes...)
+			study.Burst = bcfg
+		}
+
+		if *mtbf > 0 {
+			// Chaos runs need the failover policy on (with replication) so the
+			// application survives the injected outages.
+			study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
+			study.Machine.PFS.Failover.Replicate = true
+			study.Faults = fault.Plan{Exps: []fault.Exp{{
+				Kind:        fault.IONodeOutage,
+				MeanBetween: sim.FromSeconds(*mtbf),
+				Start:       0, End: sim.FromSeconds(*chaosWindow),
+				Node:     fault.AnyNode,
+				Duration: sim.FromSeconds(*outage),
+			}}}
+			study.FaultSeed = *seed
+		}
+
+		relFlags.Apply(&study.Machine.PFS, sim.FromSeconds(*chaosWindow))
+		if cp, ok, err := relFlags.CorruptionPlan(&study.Machine.PFS, sim.FromSeconds(*chaosWindow)); err != nil {
+			return err
+		} else if ok {
+			study.Faults.Corruption = cp
+			study.FaultSeed = *seed
+		}
 	}
 
 	report, err := core.Run(study)

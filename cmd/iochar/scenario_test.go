@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestScenarioFlagDrivesStudy: -scenario replaces the flag-driven knobs with
+// the file's study and stays deterministic.
+func TestScenarioFlagDrivesStudy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cachey.yaml")
+	body := `
+name: cachey
+workload:
+  app: escat
+  scale: small
+features:
+  cache:
+    enabled: true
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := capture(t, "-scenario", path)
+	b := capture(t, "-scenario", path)
+	if a != b {
+		t.Error("scenario-driven iochar run not byte-identical")
+	}
+	if !strings.Contains(a, "escat:") || !strings.Contains(a, "Cache effectiveness:") {
+		t.Errorf("scenario study not applied (app header or cache section missing):\n%.600s", a)
+	}
+}
+
+// TestScenarioFlagMatchesFlagRun: the default-shape scenario reproduces the
+// equivalent flag invocation byte for byte. The scenario DSL defaults
+// failover on (stress parity); bare iochar runs without it, so the scenario
+// pins it off to match.
+func TestScenarioFlagMatchesFlagRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "default.yaml")
+	body := `
+workload:
+  app: escat
+  scale: small
+features:
+  failover:
+    enabled: false
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flags := capture(t, "-app", "escat", "-small")
+	scen := capture(t, "-scenario", path)
+	if flags != scen {
+		t.Fatalf("scenario run diverged from flag run\nflags:\n%.400s\nscenario:\n%.400s", flags, scen)
+	}
+}
+
+func TestScenarioFlagBadFile(t *testing.T) {
+	if err := run([]string{"-scenario", "/does/not/exist.yaml"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing scenario file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(path, []byte("workload:\n  app: doom\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path}, &bytes.Buffer{}); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}

@@ -18,7 +18,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,11 +46,14 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "scenario" {
+		return runScenarioCmd(args[1:], out)
+	}
 	fs := flag.NewFlagSet("stress", flag.ContinueOnError)
 	app := fs.String("app", "escat", "application to stress (escat, render, htf)")
 	small := fs.Bool("small", true, "reduced-scale configuration (chaos scenarios are tuned to it)")
 	scenario := fs.String("scenario", "outage", "built-in scenario: outage, disks, storm, mixed, none")
-	config := fs.String("config", "", "JSON scenario file (overrides -scenario)")
+	config := fs.String("config", "", "chaos file: the scenario DSL's chaos section at top level (deprecated alias; prefer 'stress scenario run FILE')")
 	seed := fs.Uint64("seed", 0, "seed for the fault schedule's random choices")
 	interval := fs.Int("ckpt-interval", 2, "work units between checkpoints (0 = no checkpointing)")
 	ckptBytes := fs.Int64("ckpt-bytes", 4096, "checkpoint bytes written per node")
@@ -136,6 +138,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	printResilientReport(out, rr)
+	return nil
+}
+
+// printResilientReport renders the standard stress report sections; the
+// scenario runner shares it so scenario-driven and flag-driven runs of the
+// same study print byte-identical reports.
+func printResilientReport(out io.Writer, rr *core.ResilientReport) {
 	printAttempts(out, rr.Attempts)
 	printIncidents(out, rr.Incidents)
 	if rr.Final != nil && rr.Final.Cache != nil {
@@ -154,7 +164,6 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, analysis.RenderBurstReport(rr.Final.Burst))
 	}
 	fmt.Fprint(out, analysis.RenderResilience(rr.Resilience()))
-	return nil
 }
 
 // Built-in scenarios, tuned to the small ESCAT run (~7.5 simulated seconds):
@@ -191,82 +200,15 @@ func builtinPlan(name string) (fault.Plan, error) {
 	return fault.Plan{}, fmt.Errorf("unknown scenario %q (want outage, disks, storm, mixed, none)", name)
 }
 
-// scenarioFile is the JSON schema for -config: times in seconds, kinds as
-// their report labels ("disk-failure", "ionode-outage", "latency-storm").
-type scenarioFile struct {
-	Events []struct {
-		Kind      string  `json:"kind"`
-		AtS       float64 `json:"at_s"`
-		Node      int     `json:"node"`
-		DurationS float64 `json:"duration_s"`
-		Factor    float64 `json:"factor"`
-	} `json:"events"`
-	Exps []struct {
-		Kind         string  `json:"kind"`
-		MeanBetweenS float64 `json:"mean_between_s"`
-		StartS       float64 `json:"start_s"`
-		EndS         float64 `json:"end_s"`
-		Node         int     `json:"node"`
-		DurationS    float64 `json:"duration_s"`
-		Factor       float64 `json:"factor"`
-	} `json:"exps"`
-	Cascades []struct {
-		Kind      string  `json:"kind"`
-		AtS       float64 `json:"at_s"`
-		Nodes     int     `json:"nodes"`
-		FirstNode int     `json:"first_node"`
-		SpacingS  float64 `json:"spacing_s"`
-		DurationS float64 `json:"duration_s"`
-		Factor    float64 `json:"factor"`
-	} `json:"cascades"`
-}
-
+// loadPlan resolves the fault plan: a builtin scenario by name, or — the
+// deprecated -config alias — a standalone chaos file parsed by the scenario
+// DSL loader (the legacy JSON format is exactly the DSL's chaos section at
+// top level, so old files keep working).
 func loadPlan(scenario, path string) (fault.Plan, error) {
 	if path == "" {
 		return builtinPlan(scenario)
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return fault.Plan{}, err
-	}
-	var sf scenarioFile
-	if err := json.Unmarshal(data, &sf); err != nil {
-		return fault.Plan{}, fmt.Errorf("%s: %v", path, err)
-	}
-	var plan fault.Plan
-	for _, e := range sf.Events {
-		k, err := fault.ParseKind(e.Kind)
-		if err != nil {
-			return plan, fmt.Errorf("%s: %v", path, err)
-		}
-		plan.Events = append(plan.Events, fault.Event{
-			Kind: k, At: sim.FromSeconds(e.AtS), Node: e.Node,
-			Duration: sim.FromSeconds(e.DurationS), Factor: e.Factor,
-		})
-	}
-	for _, x := range sf.Exps {
-		k, err := fault.ParseKind(x.Kind)
-		if err != nil {
-			return plan, fmt.Errorf("%s: %v", path, err)
-		}
-		plan.Exps = append(plan.Exps, fault.Exp{
-			Kind: k, MeanBetween: sim.FromSeconds(x.MeanBetweenS),
-			Start: sim.FromSeconds(x.StartS), End: sim.FromSeconds(x.EndS),
-			Node: x.Node, Duration: sim.FromSeconds(x.DurationS), Factor: x.Factor,
-		})
-	}
-	for _, c := range sf.Cascades {
-		k, err := fault.ParseKind(c.Kind)
-		if err != nil {
-			return plan, fmt.Errorf("%s: %v", path, err)
-		}
-		plan.Cascades = append(plan.Cascades, fault.Cascade{
-			Kind: k, At: sim.FromSeconds(c.AtS), Nodes: c.Nodes,
-			FirstNode: c.FirstNode, Spacing: sim.FromSeconds(c.SpacingS),
-			Duration: sim.FromSeconds(c.DurationS), Factor: c.Factor,
-		})
-	}
-	return plan, nil
+	return cliflags.LoadChaosPlan(path)
 }
 
 func parseIntervals(s string) ([]int, error) {

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// runScenarioCmd dispatches the "stress scenario <verb>" subcommands: the
+// declarative-DSL front door.
+func runScenarioCmd(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: stress scenario <validate|run> FILE-OR-DIR...")
+	}
+	switch args[0] {
+	case "validate":
+		return scenarioValidate(args[1:], out)
+	case "run":
+		return scenarioRun(args[1:], out)
+	}
+	return fmt.Errorf("unknown scenario subcommand %q (want validate or run)", args[0])
+}
+
+// collectScenarioFiles expands file and directory arguments into a sorted
+// list of scenario files (*.yaml, *.yml, *.json inside directories).
+func collectScenarioFiles(args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"scenarios"}
+	}
+	var files []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			switch filepath.Ext(e.Name()) {
+			case ".yaml", ".yml", ".json":
+				files = append(files, filepath.Join(arg, e.Name()))
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no scenario files found under %s", strings.Join(args, ", "))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// scenarioValidate parses every file and reports per-file verdicts; any
+// invalid file fails the command.
+func scenarioValidate(args []string, out io.Writer) error {
+	files, err := collectScenarioFiles(args)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, f := range files {
+		sc, err := scenario.Load(f)
+		if err != nil {
+			bad++
+			fmt.Fprintf(out, "FAIL %s\n     %v\n", f, err)
+			continue
+		}
+		// Validate includes the build-time cross-checks (zone membership,
+		// app node-count fit) so "validate" means "would run".
+		if _, _, err := sc.Build(); err != nil {
+			bad++
+			fmt.Fprintf(out, "FAIL %s\n     %v\n", f, err)
+			continue
+		}
+		fmt.Fprintf(out, "ok   %s (%s)\n", f, sc.Name)
+	}
+	fmt.Fprintf(out, "%d scenarios, %d invalid\n", len(files), bad)
+	if bad > 0 {
+		return fmt.Errorf("%d of %d scenarios failed validation", bad, len(files))
+	}
+	return nil
+}
+
+// scenarioRun executes each scenario and prints the standard stress report
+// followed by the fleet and assertion sections; any failed assertion fails
+// the command. With a single file the report is byte-identical to the
+// equivalent flag-driven invocation, with the scenario sections appended.
+func scenarioRun(args []string, out io.Writer) error {
+	files, err := collectScenarioFiles(args)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for i, f := range files {
+		sc, err := scenario.Load(f)
+		if err != nil {
+			return err
+		}
+		if len(files) > 1 {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			fmt.Fprintf(out, "=== %s (%s) ===\n", sc.Name, f)
+		}
+		res, err := sc.Execute()
+		if err != nil {
+			return err
+		}
+		printResilientReport(out, res.Report)
+		if fl := scenario.RenderFleet(res.Fleet); fl != "" {
+			fmt.Fprint(out, fl)
+		}
+		fmt.Fprint(out, scenario.RenderChecks(sc.Name, res.M, res.Checks))
+		if !res.Pass() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed their assertions", failed, len(files))
+	}
+	return nil
+}

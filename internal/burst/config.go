@@ -92,6 +92,12 @@ type Config struct {
 	// always intercepted). The resilience driver adds the checkpoint file
 	// base automatically.
 	Prefixes []string
+
+	// PerNodeCapacity, when non-empty, gives compute node i the log
+	// capacity PerNodeCapacity[i] — the heterogeneous-fleet shape, where
+	// node templates carry different burst-log sizes. Entries <= 0 (and
+	// nodes beyond the slice) fall back to CapacityBytes.
+	PerNodeCapacity []int64
 }
 
 // DefaultConfig returns a 64 MB node log committing at 400 MB/s (conservative

@@ -40,6 +40,7 @@ type Tier struct {
 // nodeLog is one compute node's local log.
 type nodeLog struct {
 	node  int
+	cap   int64     // this node's log capacity
 	used  int64     // committed, undrained bytes
 	queue []*Record // FIFO drain order
 	live  bool      // drain daemon running
@@ -102,10 +103,20 @@ func (t *Tier) log(node int) *nodeLog {
 	if t.logs[node] == nil {
 		t.logs[node] = &nodeLog{
 			node: node,
+			cap:  t.nodeCapacity(node),
 			rng:  sim.NewRNG(t.cfg.Seed + uint64(node)).Split(),
 		}
 	}
 	return t.logs[node]
+}
+
+// nodeCapacity resolves a node's log capacity under the heterogeneous-fleet
+// overrides.
+func (t *Tier) nodeCapacity(node int) int64 {
+	if node < len(t.cfg.PerNodeCapacity) && t.cfg.PerNodeCapacity[node] > 0 {
+		return t.cfg.PerNodeCapacity[node]
+	}
+	return t.cfg.CapacityBytes
 }
 
 // state returns (creating on first use) a file's pending-drain state.
@@ -206,7 +217,7 @@ func (t *Tier) Stat(name string) (pfs.FileInfo, bool) {
 // records straight to the PFS) and returns when the data is locally durable.
 func (t *Tier) commit(p *sim.Process, node int, name string, off, n int64, mode iotrace.AccessMode) (int64, error) {
 	start := p.Now()
-	if n >= t.cfg.CapacityBytes {
+	if n >= t.nodeCapacity(node) {
 		// The log cannot hold the record even empty: write through, after
 		// any pending records on the file so ordering is preserved.
 		t.waitDrained(p, name)
@@ -215,7 +226,7 @@ func (t *Tier) commit(p *sim.Process, node int, name string, off, n int64, mode 
 		return t.phys.Access(p, node, name, iotrace.OpWrite, off, n)
 	}
 	lg := t.log(node)
-	for lg.used+n > t.cfg.CapacityBytes {
+	for lg.used+n > lg.cap {
 		// Backpressure: block until the drain daemon frees space.
 		t.st.Backpressure++
 		w := sim.NewCompletion("burst-space")

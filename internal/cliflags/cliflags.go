@@ -15,6 +15,7 @@ import (
 	"repro/internal/integrity"
 	"repro/internal/ionode"
 	"repro/internal/pfs"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -187,4 +188,42 @@ func (c *Collective) Apply(cfg *pfs.Config) error {
 		}
 	}
 	return nil
+}
+
+// Scenario bundles the declarative scenario-file flag: both commands load
+// scenario files through internal/scenario the same way, and the stress
+// command's legacy -config chaos files ride the same loader.
+type Scenario struct {
+	File *string
+}
+
+// AddScenario registers a scenario-file flag under the given name (iochar
+// uses -scenario; a file there overrides the app/feature flags).
+func AddScenario(fs *flag.FlagSet, name string) *Scenario {
+	return &Scenario{
+		File: fs.String(name, "", "declarative scenario file (YAML/JSON; overrides app, feature and chaos flags)"),
+	}
+}
+
+// Load parses the scenario file. ok is false when the flag was not given.
+func (s *Scenario) Load() (sc *scenario.Scenario, ok bool, err error) {
+	if *s.File == "" {
+		return nil, false, nil
+	}
+	sc, err = scenario.Load(*s.File)
+	if err != nil {
+		return nil, false, err
+	}
+	return sc, true, nil
+}
+
+// LoadChaosPlan loads a legacy chaos-only file (the stress command's
+// deprecated -config format — the scenario DSL's chaos section at top level)
+// and converts it to a fault plan.
+func LoadChaosPlan(path string) (fault.Plan, error) {
+	c, err := scenario.LoadChaos(path)
+	if err != nil {
+		return fault.Plan{}, err
+	}
+	return c.Plan(nil)
 }

@@ -19,6 +19,12 @@ type Config struct {
 	Disk       disk.ArrayConfig // RAID-3 array behind each I/O node
 	Cost       CostModel        // software path costs
 
+	// Nodes, when non-empty, makes the I/O-node population heterogeneous:
+	// entry i overrides the fleet-wide defaults for node i. Its length must
+	// equal IONodes. Empty keeps the homogeneous shape (every node gets
+	// Disk and Cache verbatim), byte-identical to earlier revisions.
+	Nodes []NodeConfig
+
 	// ComputeNodes is the compute-partition size N used by the interleaved
 	// modes (M_SYNC node ordering, M_RECORD's record k = round*N + node).
 	// Zero derives N from the mesh (total positions minus I/O nodes),
@@ -64,6 +70,35 @@ type Config struct {
 	// batching window. Each node's policy draws from its own substream of
 	// Sched.Seed.
 	Sched ionode.SchedConfig
+}
+
+// NodeConfig overrides the fleet-wide defaults for one I/O node — the unit of
+// heterogeneity template-driven fleets are generated from. The zero value
+// overrides nothing: the node behaves exactly as under the homogeneous
+// configuration.
+type NodeConfig struct {
+	// Disk, when non-nil, replaces Config.Disk for this node (a slower or
+	// faster array, a different drive population).
+	Disk *disk.ArrayConfig
+
+	// CacheBytes, when positive, overrides the cache capacity for this node.
+	// It only applies when Config.Cache is enabled — per-node capacities
+	// shape an existing cache tier, they do not switch it on.
+	CacheBytes int64
+
+	// BurstBytes, when positive, is the per-node burst-log capacity hint
+	// recorded by fleet generation. The PFS itself ignores it (the burst
+	// tier lives client-side), but it rides along so one NodeConfig slice
+	// describes the whole template expansion.
+	BurstBytes int64
+
+	// Zone is the node's outage domain (rack, power feed). Zone-scoped
+	// chaos targets every node sharing a zone; zero is the default domain.
+	Zone int
+
+	// Template names the fleet template this node was generated from, for
+	// reports. Empty for hand-built configurations.
+	Template string
 }
 
 // FailoverConfig describes the request failover policy used under injected
@@ -112,10 +147,86 @@ func (c Config) Validate() error {
 	if c.StripeUnit < 1 {
 		return fmt.Errorf("pfs: stripe unit %d < 1", c.StripeUnit)
 	}
+	if len(c.Nodes) != 0 && len(c.Nodes) != c.IONodes {
+		return fmt.Errorf("pfs: %d per-node configs for %d I/O nodes (Nodes must be empty or exactly IONodes long)",
+			len(c.Nodes), c.IONodes)
+	}
+	for i, n := range c.Nodes {
+		if n.Disk != nil {
+			if n.Disk.Disks < 2 {
+				return fmt.Errorf("pfs: node %d (%s): RAID-3 needs >= 2 drives, got %d",
+					i, templateLabel(n), n.Disk.Disks)
+			}
+			if n.Disk.BWBytesPerS <= 0 {
+				return fmt.Errorf("pfs: node %d (%s): non-positive disk bandwidth %g B/s",
+					i, templateLabel(n), n.Disk.BWBytesPerS)
+			}
+		}
+		if n.CacheBytes < 0 {
+			return fmt.Errorf("pfs: node %d (%s): negative cache capacity %d", i, templateLabel(n), n.CacheBytes)
+		}
+		if n.CacheBytes > 0 && !c.Cache.Enabled {
+			return fmt.Errorf("pfs: node %d (%s): per-node cache capacity set but the cache tier is disabled (enable Config.Cache)",
+				i, templateLabel(n))
+		}
+		if n.Zone < 0 {
+			return fmt.Errorf("pfs: node %d (%s): negative zone %d", i, templateLabel(n), n.Zone)
+		}
+	}
 	if err := c.Sched.Validate(); err != nil {
 		return err
 	}
 	return nil
+}
+
+func templateLabel(n NodeConfig) string {
+	if n.Template == "" {
+		return "untemplated"
+	}
+	return "template " + n.Template
+}
+
+// nodeDisk resolves node i's array configuration.
+func (c Config) nodeDisk(i int) disk.ArrayConfig {
+	if i < len(c.Nodes) && c.Nodes[i].Disk != nil {
+		return *c.Nodes[i].Disk
+	}
+	return c.Disk
+}
+
+// nodeCache resolves node i's cache configuration (normalized against the
+// stripe unit); Enabled is false when the cache tier is off.
+func (c Config) nodeCache(i int) cache.Config {
+	if !c.Cache.Enabled {
+		return cache.Config{}
+	}
+	cc := c.Cache
+	if i < len(c.Nodes) && c.Nodes[i].CacheBytes > 0 {
+		cc.CapacityBytes = c.Nodes[i].CacheBytes
+	}
+	return cc.Normalized(c.StripeUnit)
+}
+
+// Zones returns each I/O node's outage domain, all zeros for homogeneous
+// configurations.
+func (c Config) Zones() []int {
+	zones := make([]int, c.IONodes)
+	for i := range zones {
+		if i < len(c.Nodes) {
+			zones[i] = c.Nodes[i].Zone
+		}
+	}
+	return zones
+}
+
+// Heterogeneous reports whether any node overrides the fleet-wide defaults.
+func (c Config) Heterogeneous() bool {
+	for _, n := range c.Nodes {
+		if n.Disk != nil || n.CacheBytes > 0 || n.Zone != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // CostModel collects the software-path service times of the file system.

@@ -90,9 +90,9 @@ func New(eng *sim.Engine, msh *mesh.Mesh, cfg Config) (*FileSystem, error) {
 	}
 	total := msh.Nodes()
 	for i := 0; i < cfg.IONodes; i++ {
-		n := ionode.New(eng, i, cfg.Disk)
+		n := ionode.New(eng, i, cfg.nodeDisk(i))
 		if cfg.Cache.Enabled {
-			n.EnableCache(eng, cfg.Cache.Normalized(cfg.StripeUnit))
+			n.EnableCache(eng, cfg.nodeCache(i))
 		}
 		if cfg.Integrity.Enabled {
 			n.EnableIntegrity(cfg.Integrity.Normalized(cfg.StripeUnit))

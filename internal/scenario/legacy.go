@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ParseChaos decodes a standalone chaos file — the legacy cmd/stress -config
+// format, which is exactly the scenario DSL's chaos section at top level
+// (JSON or the YAML subset).
+func ParseChaos(data []byte, path string) (Chaos, error) {
+	var c Chaos
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return c, loc(path, fmt.Errorf("empty chaos file"))
+	}
+	jsonBytes := trimmed
+	if trimmed[0] != '{' {
+		tree, err := parseYAML(data)
+		if err != nil {
+			return c, loc(path, err)
+		}
+		jsonBytes, err = json.Marshal(tree)
+		if err != nil {
+			return c, loc(path, err)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(jsonBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, loc(path, fmt.Errorf("chaos schema: %v", friendlyDecodeError(err)))
+	}
+	if err := c.validate(); err != nil {
+		return c, loc(path, err)
+	}
+	return c, nil
+}
+
+// LoadChaos reads and parses a standalone chaos file.
+func LoadChaos(path string) (Chaos, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Chaos{}, err
+	}
+	return ParseChaos(data, path)
+}

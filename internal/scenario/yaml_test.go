@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustYAML(t *testing.T, src string) any {
+	t.Helper()
+	v, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parseYAML(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestYAMLScalars(t *testing.T) {
+	got := mustYAML(t, `
+a: 1
+b: 2.5
+c: true
+d: null
+e: hello world
+f: "quoted: string"
+g: 'single # quoted'
+h: [1, 2, 3]
+`)
+	want := map[string]any{
+		"a": float64(1), "b": 2.5, "c": true, "d": nil,
+		"e": "hello world", "f": "quoted: string", "g": "single # quoted",
+		"h": []any{float64(1), float64(2), float64(3)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLNesting(t *testing.T) {
+	got := mustYAML(t, `
+workload:
+  app: escat
+  scale: small
+chaos:
+  events:
+    - kind: disk-failure
+      at_s: 2
+    - kind: latency-storm
+      at_s: 3
+      node: any
+`)
+	want := map[string]any{
+		"workload": map[string]any{"app": "escat", "scale": "small"},
+		"chaos": map[string]any{
+			"events": []any{
+				map[string]any{"kind": "disk-failure", "at_s": float64(2)},
+				map[string]any{"kind": "latency-storm", "at_s": float64(3), "node": "any"},
+			},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLComments(t *testing.T) {
+	got := mustYAML(t, `
+# leading comment
+a: 1  # trailing comment
+b: "kept # inside quotes"
+`)
+	want := map[string]any{"a": float64(1), "b": "kept # inside quotes"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLSequenceOfScalars(t *testing.T) {
+	got := mustYAML(t, `
+items:
+  - one
+  - two
+`)
+	want := map[string]any{"items": []any{"one", "two"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"tab indent", "a:\n\tb: 1\n", "tab"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate"},
+		{"anchor", "a: &x 1\n", ""},
+		{"flow map", "a: {b: 1}\n", ""},
+		{"block scalar", "a: |\n  text\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parseYAML(%q): want error, got none", tc.src)
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -33,11 +33,33 @@ type Machine struct {
 	Nodes int // compute nodes (node ids 0..Nodes-1)
 }
 
+// Validate checks the machine shape up front with actionable messages, so a
+// bad configuration (a scenario file, a sweep override) fails here instead of
+// deep inside pfs.New or mesh construction.
+func (cfg MachineConfig) Validate() error {
+	if cfg.ComputeNodes < 1 {
+		return fmt.Errorf("workload: machine needs >= 1 compute node, got %d (set MachineConfig.ComputeNodes, or use DefaultMachineConfig for the paper's 128)",
+			cfg.ComputeNodes)
+	}
+	if cfg.PFS.IONodes < 1 {
+		return fmt.Errorf("workload: machine needs >= 1 I/O node, got %d (set MachineConfig.PFS.IONodes; the paper's shape is 16)",
+			cfg.PFS.IONodes)
+	}
+	if n := len(cfg.PFS.Nodes); n != 0 && n != cfg.PFS.IONodes {
+		return fmt.Errorf("workload: fleet templates expanded to %d per-node configs but the machine has %d I/O nodes (PFS.Nodes must be empty for a homogeneous fleet or exactly IONodes long)",
+			n, cfg.PFS.IONodes)
+	}
+	if err := cfg.PFS.Validate(); err != nil {
+		return fmt.Errorf("workload: invalid PFS configuration: %w", err)
+	}
+	return nil
+}
+
 // NewMachine builds a machine: an engine, a mesh sized for compute plus I/O
 // nodes, and a PFS instance whose I/O nodes sit at the top of the mesh.
 func NewMachine(cfg MachineConfig) (*Machine, error) {
-	if cfg.ComputeNodes < 1 {
-		return nil, fmt.Errorf("workload: %d compute nodes", cfg.ComputeNodes)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	eng := sim.NewEngine()
 	msh := mesh.New(mesh.DefaultConfig(cfg.ComputeNodes + cfg.PFS.IONodes))

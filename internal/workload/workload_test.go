@@ -2,6 +2,7 @@ package workload
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/iotrace"
@@ -170,5 +171,36 @@ func TestWrapPFSImplementsFullSurface(t *testing.T) {
 	})
 	if err := m.Eng.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMachineValidateActionableMessages(t *testing.T) {
+	cases := []struct {
+		mut  func(*MachineConfig)
+		want string
+	}{
+		{func(c *MachineConfig) { c.ComputeNodes = 0 }, "needs >= 1 compute node"},
+		{func(c *MachineConfig) { c.PFS.IONodes = 0 }, "needs >= 1 I/O node"},
+		{func(c *MachineConfig) { c.PFS.Nodes = make([]pfs.NodeConfig, 5) },
+			"5 per-node configs but the machine has 16 I/O nodes"},
+		{func(c *MachineConfig) { c.PFS.StripeUnit = 0 }, "invalid PFS configuration"},
+	}
+	for i, tc := range cases {
+		cfg := DefaultMachineConfig()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("case %d: bad config accepted", i)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: error %q missing %q", i, err, tc.want)
+		}
+		if _, err := NewMachine(cfg); err == nil {
+			t.Fatalf("case %d: NewMachine accepted bad config", i)
+		}
+	}
+	good := DefaultMachineConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/ionode"
 	"repro/internal/pfs"
 	"repro/internal/ppfs"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -356,4 +357,34 @@ func RenderSchedReport(rows []SchedStats) string { return analysis.RenderSchedRe
 // RenderCollectiveSweep formats a collective-versus-direct comparison table.
 func RenderCollectiveSweep(title string, rows []CollectiveComparison) string {
 	return analysis.RenderCollectiveSweep(title, rows)
+}
+
+// The declarative scenario DSL: YAML/JSON files describing a generated
+// (possibly heterogeneous) fleet, a workload, a chaos schedule, and
+// first-class assertions — versioned, replayable what-ifs. See the
+// "Scenarios" section of the README and `stress scenario run`.
+
+// Scenario is one parsed scenario file.
+type Scenario = scenario.Scenario
+
+// ScenarioResult is one executed scenario: the resilient report, the
+// realized fleet, the measurements, and the assertion verdicts.
+type ScenarioResult = scenario.Result
+
+// ScenarioFleet is the realized machine shape a fleet_gen section expands to.
+type ScenarioFleet = scenario.Fleet
+
+// ParseScenario decodes and validates a scenario from YAML or JSON bytes.
+func ParseScenario(data []byte, path string) (*Scenario, error) { return scenario.Parse(data, path) }
+
+// LoadScenario reads and parses one scenario file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// RenderScenarioFleet formats the realized fleet section (empty for the
+// default homogeneous shape).
+func RenderScenarioFleet(f *ScenarioFleet) string { return scenario.RenderFleet(f) }
+
+// RenderScenarioChecks formats the assertion verdict section.
+func RenderScenarioChecks(name string, m scenario.Measurements, checks []scenario.Check) string {
+	return scenario.RenderChecks(name, m, checks)
 }
