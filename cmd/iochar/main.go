@@ -64,6 +64,7 @@ func run(args []string, out io.Writer) error {
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting faults after this many simulated seconds")
 	seed := fs.Uint64("seed", 0, "seed for the injected-fault schedule")
 	relFlags := cliflags.AddReliability(fs)
+	repFlags := cliflags.AddReplication(fs)
 	prof := profiling.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +147,9 @@ func run(args []string, out io.Writer) error {
 		}
 
 		relFlags.Apply(&study.Machine.PFS, sim.FromSeconds(*chaosWindow))
+		if err := repFlags.Apply(&study.Machine.PFS); err != nil {
+			return err
+		}
 		if cp, ok, err := relFlags.CorruptionPlan(&study.Machine.PFS, sim.FromSeconds(*chaosWindow)); err != nil {
 			return err
 		} else if ok {

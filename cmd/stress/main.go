@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	maxAttempts := fs.Int("max-attempts", 8, "give up after this many attempts")
 	failover := fs.Bool("failover", true, "enable PFS request failover (off: any outage kills the attempt)")
 	replicate := fs.Bool("replicate", true, "mirror stripes so reads survive outages")
+	repFlags := cliflags.AddReplication(fs)
 	cacheFlags := cliflags.AddCache(fs)
 	cacheFlags.AddFlushOnFail(fs)
 	collFlags := cliflags.AddCollective(fs)
@@ -88,6 +89,9 @@ func run(args []string, out io.Writer) error {
 	if *failover {
 		study.Machine.PFS.Failover = pfs.DefaultFailoverConfig()
 		study.Machine.PFS.Failover.Replicate = *replicate
+	}
+	if err := repFlags.Apply(&study.Machine.PFS); err != nil {
+		return err
 	}
 	cacheFlags.Apply(&study.Machine.PFS)
 	if err := collFlags.Apply(&study.Machine.PFS); err != nil {

@@ -136,7 +136,38 @@ type ResilienceReport struct {
 	// PFS failover counters.
 	Timeouts, Retries, Reroutes, MirrorWrites, FailedOps int64
 	BackoffTime                                          sim.Time
+
+	// ReplicationFactor is the effective copies per chunk (0 or 1 = no
+	// replication); Repair the repair control plane's availability summary.
+	ReplicationFactor int
+	Repair            RepairSummary
 }
+
+// RepairSummary is the availability view of the replication repair control
+// plane: what the outage windows cost in redundancy and what it took to
+// restore it.
+type RepairSummary struct {
+	Enabled      bool
+	Outages      int64 // I/O-node outage windows observed
+	SloppyWrites int64 // writes redirected to a replica while the primary was down
+	MirrorMisses int64 // replica copies skipped because their target was down
+
+	LedgerPuts int64 // under-replication entries enqueued
+	LedgerPeak int64 // deepest the redirect ledger got
+	Backlog    int64 // entries still unresolved at the end of the run
+
+	ChunksRepaired int64 // copies restored by the repair daemon
+	BytesRepaired  int64 // bytes re-replicated
+	Abandoned      int64 // entries given up on (redundancy permanently lost)
+	ThrottleTime   sim.Time
+
+	TimeToFullRedundancy  sim.Time // last outage end -> ledger drained
+	WindowOfVulnerability sim.Time // first outage -> redundancy restored
+}
+
+// UnrestoredReplicas counts chunk copies that will never be re-replicated —
+// the durability deficit a scenario's min_redundancy assertion checks.
+func (s RepairSummary) UnrestoredReplicas() int64 { return s.Abandoned + s.Backlog }
 
 // RenderResilience formats the report as a text section.
 func RenderResilience(r ResilienceReport) string {
@@ -151,6 +182,18 @@ func RenderResilience(r ResilienceReport) string {
 		fmtT(r.Exposure.Degraded), fmtT(r.Exposure.Outage), fmtT(r.Exposure.Storm))
 	fmt.Fprintf(&b, "  failover        %d timeouts, %d retries, %d reroutes, %d mirror writes, %d failed ops, %s backing off\n",
 		r.Timeouts, r.Retries, r.Reroutes, r.MirrorWrites, r.FailedOps, fmtT(r.BackoffTime))
+	if r.ReplicationFactor > 1 {
+		fmt.Fprintf(&b, "  replication     RF=%d\n", r.ReplicationFactor)
+	}
+	if r.Repair.Enabled {
+		s := r.Repair
+		fmt.Fprintf(&b, "  durability      %d outages, %d sloppy writes, %d mirror misses\n",
+			s.Outages, s.SloppyWrites, s.MirrorMisses)
+		fmt.Fprintf(&b, "  repair          %d/%d chunks restored (%d bytes), %d abandoned, ledger peak %d, backlog %d, %s throttled\n",
+			s.ChunksRepaired, s.LedgerPuts, s.BytesRepaired, s.Abandoned, s.LedgerPeak, s.Backlog, fmtT(s.ThrottleTime))
+		fmt.Fprintf(&b, "  availability    time-to-full-redundancy %s, window-of-vulnerability %s\n",
+			fmtT(s.TimeToFullRedundancy), fmtT(s.WindowOfVulnerability))
+	}
 	if len(r.Impacts) > 0 {
 		fmt.Fprintf(&b, "  per-fault latency impact:\n")
 		fmt.Fprintf(&b, "  %12s %6s %-14s %6s %12s %12s %9s\n",

@@ -117,6 +117,62 @@ func (r *Reliability) CorruptionPlan(cfg *pfs.Config, window sim.Time) (cp fault
 	return cp, true, nil
 }
 
+// Replication bundles the N-way replication and repair-daemon flags.
+type Replication struct {
+	Factor        *int
+	PlacementSeed *uint64
+	ReadPolicy    *string
+	Repair        *bool
+	RepairMBs     *float64
+	RepairGiveUp  *float64
+}
+
+// AddReplication registers -rf, -placement-seed, -read-policy, -repair,
+// -repair-mb-s and -repair-give-up on fs.
+func AddReplication(fs *flag.FlagSet) *Replication {
+	return &Replication{
+		Factor:        fs.Int("rf", 0, "replication factor 1..4, zone-aware placement (0 defers to -replicate; needs failover)"),
+		PlacementSeed: fs.Uint64("placement-seed", 0, "seed perturbing the replica ring's within-zone node order (0 = index order)"),
+		ReadPolicy:    fs.String("read-policy", "", "replicated read policy: primary-first (default), any-replica, quorum"),
+		Repair:        fs.Bool("repair", false, "run the background repair daemon restoring redundancy after outages (needs replication)"),
+		RepairMBs:     fs.Float64("repair-mb-s", 32, "repair daemon bandwidth throttle in MB/s, 0 = unthrottled (with -repair)"),
+		RepairGiveUp:  fs.Float64("repair-give-up", 0, "abandon a repair entry still queued after this many seconds, 0 = never (with -repair)"),
+	}
+}
+
+// Apply wires the parsed replication flags into cfg.
+func (r *Replication) Apply(cfg *pfs.Config) error {
+	if *r.Factor < 0 || *r.Factor > pfs.MaxReplicationFactor {
+		return fmt.Errorf("-rf %d: want 0 (legacy) or 1..%d", *r.Factor, pfs.MaxReplicationFactor)
+	}
+	switch *r.ReadPolicy {
+	case "", pfs.ReadPrimaryFirst, pfs.ReadAnyReplica, pfs.ReadQuorum:
+	default:
+		return fmt.Errorf("-read-policy %q: want %s, %s or %s",
+			*r.ReadPolicy, pfs.ReadPrimaryFirst, pfs.ReadAnyReplica, pfs.ReadQuorum)
+	}
+	cfg.Replication.Factor = *r.Factor
+	cfg.Replication.Seed = *r.PlacementSeed
+	cfg.Replication.ReadPolicy = *r.ReadPolicy
+	if *r.Repair {
+		if *r.RepairMBs < 0 {
+			return fmt.Errorf("-repair-mb-s %g is negative", *r.RepairMBs)
+		}
+		if *r.RepairGiveUp < 0 {
+			return fmt.Errorf("-repair-give-up %g is negative", *r.RepairGiveUp)
+		}
+		cfg.Replication.Repair = pfs.RepairConfig{
+			Enabled:            true,
+			BandwidthBytesPerS: *r.RepairMBs * float64(1<<20),
+			GiveUp:             sim.FromSeconds(*r.RepairGiveUp),
+		}
+	}
+	if *r.Factor > 1 && !cfg.Failover.Enabled {
+		cfg.Failover = pfs.DefaultFailoverConfig()
+	}
+	return nil
+}
+
 // Burst bundles the host-side burst-log flags.
 type Burst struct {
 	On       *bool

@@ -135,6 +135,13 @@ type Report struct {
 	Incidents []fault.Incident
 	Failover  pfs.FailoverStats
 
+	// Repair holds the replication repair control plane's counters (all
+	// zeros when it is off); ReplicationFactor the effective copies per
+	// chunk (1 = no replication).
+	Repair            pfs.RepairStats
+	ReplicationFactor int
+	repairOn          bool
+
 	// Cache is the I/O-node cache effectiveness report; nil when the
 	// study ran without caching.
 	Cache *analysis.CacheReport
@@ -256,6 +263,10 @@ func (rt *runtime) inject(s Study, events []fault.Event) *fault.Injector {
 	if rt.burst != nil {
 		hooks.Undrained = rt.burst.UndrainedNode
 	}
+	if rt.m.PFS.RepairEnabled() {
+		hooks.OnOutageStart = rt.m.PFS.NoteOutageStart
+		hooks.OnOutageEnd = rt.m.PFS.NoteOutageEnd
+	}
 	return fault.Inject(rt.m.Eng, rt.m.PFS.IONodes(), events, hooks)
 }
 
@@ -264,7 +275,7 @@ func (rt *runtime) inject(s Study, events []fault.Event) *fault.Injector {
 // the application's finish, so the run's wall clock must come from the trace.
 func (rt *runtime) clockPadded(s Study) bool {
 	return !s.Faults.Corruption.Empty() || rt.m.PFS.ScrubWindowEnd() > 0 ||
-		rt.m.PFS.CollectiveEnabled() || rt.burst != nil
+		rt.m.PFS.CollectiveEnabled() || rt.m.PFS.RepairEnabled() || rt.burst != nil
 }
 
 // report assembles the study's report after a completed run.
@@ -278,7 +289,10 @@ func (rt *runtime) report(s Study) *Report {
 		Lifetime: rt.lifetime,
 		Windows:  rt.windows,
 		Failover: rt.m.PFS.FailoverStats(),
+		Repair:   rt.m.PFS.RepairStats(),
 	}
+	r.ReplicationFactor = rt.m.PFS.ReplicationFactor()
+	r.repairOn = rt.m.PFS.RepairEnabled()
 	if rt.physTracer != nil {
 		r.Physical = rt.physTracer.Events()
 	} else {

@@ -4,22 +4,58 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/exec"
 	"repro/internal/fault"
+	"repro/internal/pfs"
 )
 
 // Resilience reduces a single-attempt report to the analysis-layer
 // resilience summary (exposure, per-fault latency impact, failover counters).
 func (r *Report) Resilience() analysis.ResilienceReport {
 	return analysis.ResilienceReport{
-		Wall:         r.Wall,
-		Attempts:     1,
-		Exposure:     analysis.Exposures(r.Incidents),
-		Impacts:      analysis.FaultImpacts(r.Events, r.Incidents),
-		Timeouts:     r.Failover.Timeouts,
-		Retries:      r.Failover.Retries,
-		Reroutes:     r.Failover.Reroutes,
-		MirrorWrites: r.Failover.MirrorWrites,
-		FailedOps:    r.Failover.Failed,
-		BackoffTime:  r.Failover.BackoffTime,
+		Wall:              r.Wall,
+		Attempts:          1,
+		Exposure:          analysis.Exposures(r.Incidents),
+		Impacts:           analysis.FaultImpacts(r.Events, r.Incidents),
+		Timeouts:          r.Failover.Timeouts,
+		Retries:           r.Failover.Retries,
+		Reroutes:          r.Failover.Reroutes,
+		MirrorWrites:      r.Failover.MirrorWrites,
+		FailedOps:         r.Failover.Failed,
+		BackoffTime:       r.Failover.BackoffTime,
+		ReplicationFactor: r.ReplicationFactor,
+		Repair:            repairSummary(r.Repair.Capped(r.Wall), r.Incidents, r.RepairEnabled()),
+	}
+}
+
+// RepairEnabled reports whether the repair control plane ran during the
+// study (the stats carry no explicit flag; a sweep only spawns with work,
+// so the authoritative signal is recorded at report time).
+func (r *Report) RepairEnabled() bool { return r.repairOn }
+
+// repairSummary maps the PFS repair counters into the analysis layer's
+// availability summary. The outage count comes from the (already capped)
+// incident timeline rather than the raw hook counter so that fault windows
+// past the app's completion don't inflate the durability line.
+func repairSummary(s pfs.RepairStats, incs []fault.Incident, enabled bool) analysis.RepairSummary {
+	var outages int64
+	for _, inc := range incs {
+		if inc.Kind == fault.IONodeOutage {
+			outages++
+		}
+	}
+	return analysis.RepairSummary{
+		Enabled:               enabled,
+		Outages:               outages,
+		SloppyWrites:          s.SloppyWrites,
+		MirrorMisses:          s.MirrorMisses,
+		LedgerPuts:            s.LedgerPuts,
+		LedgerPeak:            s.LedgerPeak,
+		Backlog:               s.LedgerPuts - s.LedgerDrains,
+		ChunksRepaired:        s.ChunksRepaired,
+		BytesRepaired:         s.BytesRepaired,
+		Abandoned:             s.Abandoned,
+		ThrottleTime:          s.ThrottleTime,
+		TimeToFullRedundancy:  s.TimeToFullRedundancy(),
+		WindowOfVulnerability: s.WindowOfVulnerability(),
 	}
 }
 
@@ -65,6 +101,8 @@ func (rr *ResilientReport) Resilience() analysis.ResilienceReport {
 		out.MirrorWrites = rr.Final.Failover.MirrorWrites
 		out.FailedOps = rr.Final.Failover.Failed
 		out.BackoffTime = rr.Final.Failover.BackoffTime
+		out.ReplicationFactor = rr.Final.ReplicationFactor
+		out.Repair = repairSummary(rr.Final.Repair.Capped(rr.Final.Wall), rr.Final.Incidents, rr.Final.RepairEnabled())
 	}
 	return out
 }

@@ -31,6 +31,14 @@ type NodeLossHooks struct {
 	Nodes     int
 	Undrained func(node int) (bytes, records int64)
 	Halt      func()
+
+	// OnOutageStart / OnOutageEnd observe I/O-node outage windows: Start
+	// fires when an outage takes the node down, End when the last
+	// overlapping outage releases it back to service. The file system's
+	// repair control plane uses them to stamp availability windows and wake
+	// its drain. Nil disables the notifications.
+	OnOutageStart func(node int, at sim.Time)
+	OnOutageEnd   func(node int, at sim.Time)
 }
 
 // NodeLossEvent is one realized compute-node loss.
@@ -152,11 +160,17 @@ func (inj *Injector) runOutage(p *sim.Process, ev Event) {
 	inj.downCount[ev.Node]++
 	lost0, drains0, ranges0 := cacheOutageCounters(n)
 	n.Fail(p)
+	if inj.hooks.OnOutageStart != nil {
+		inj.hooks.OnOutageStart(ev.Node, p.Now())
+	}
 	note := cacheOutageNote(n, lost0, drains0, ranges0)
 	p.Sleep(ev.Duration)
 	inj.downCount[ev.Node]--
 	if inj.downCount[ev.Node] == 0 {
 		n.Restore(p)
+		if inj.hooks.OnOutageEnd != nil {
+			inj.hooks.OnOutageEnd(ev.Node, p.Now())
+		}
 	}
 	inj.close(i, p.Now(), note)
 }

@@ -37,6 +37,13 @@ type Config struct {
 	// redundancy across I/O nodes).
 	Failover FailoverConfig
 
+	// Replication generalizes Failover.Replicate to a configurable N-way
+	// policy: replication factor 1..4, failure-domain-aware placement over
+	// the zones in Nodes, read policies, and the background repair control
+	// plane. The zero value defers to Failover.Replicate (factor 2 when set)
+	// and places replicas exactly where earlier revisions did.
+	Replication ReplicationConfig
+
 	// Cache attaches a block cache to every I/O node (the §8 what-if: the
 	// real PFS had none, every request went straight to the arrays). The
 	// zero value leaves the data path untouched; the cache block size
@@ -172,6 +179,9 @@ func (c Config) Validate() error {
 		if n.Zone < 0 {
 			return fmt.Errorf("pfs: node %d (%s): negative zone %d", i, templateLabel(n), n.Zone)
 		}
+	}
+	if err := c.Replication.validate(); err != nil {
+		return err
 	}
 	if err := c.Sched.Validate(); err != nil {
 		return err

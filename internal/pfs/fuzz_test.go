@@ -9,14 +9,15 @@ import (
 
 // fuzzFS builds the minimal FileSystem skeleton the striping math reads:
 // a stripe unit and an I/O-node count. The nodes themselves are never
-// touched — only len(fs.ion) matters to the mapping.
+// touched — only len(fs.ion) matters to the mapping (the placement ring is
+// built lazily as the identity ring, matching a homogeneous unseeded fleet).
 func fuzzFS(nion int, su int64) *FileSystem {
 	return &FileSystem{cfg: Config{StripeUnit: su}, ion: make([]*ionode.Node, nion)}
 }
 
 // FuzzStripeRoundtrip checks that fileOffset is the exact inverse of the
-// stripeIONode + arrayAddr placement for every file offset, on both the
-// primary copy and its replica (which lives one node over). The corruption
+// stripeIONode + arrayAddr placement for every file offset, on the primary
+// copy and every replica slot the placement ring can assign. The corruption
 // ledger depends on this roundtrip: a corrupt block is harvested in file
 // coordinates at restart and re-injected through the forward mapping.
 func FuzzStripeRoundtrip(f *testing.F) {
@@ -43,18 +44,32 @@ func FuzzStripeRoundtrip(f *testing.F) {
 		}
 		addr := file.arrayAddr(stripe, within, nion, su)
 		local := addr - int64(id)<<34
-		if local < 0 || local >= replicaAddrBit {
-			t.Fatalf("local address %d escapes the per-file region (replica bit at %d)",
-				local, replicaAddrBit)
+		if local < 0 || local > localAddrMask {
+			t.Fatalf("local address %d escapes the per-file region (mask %d)",
+				local, localAddrMask)
 		}
 
-		if got := fs.fileOffset(file, node, local, false); got != off {
-			t.Fatalf("primary roundtrip: offset %d -> node %d local %d -> %d", off, node, local, got)
+		for r := 0; r < MaxReplicationFactor; r++ {
+			copyNode := fs.placer().target(node, r)
+			if got := fs.fileOffset(file, copyNode, local, r); got != off {
+				t.Fatalf("copy %d roundtrip: offset %d -> node %d local %d -> %d",
+					r, off, copyNode, local, got)
+			}
 		}
-		replicaNode := (node + 1) % nion
-		if got := fs.fileOffset(file, replicaNode, local, true); got != off {
-			t.Fatalf("replica roundtrip: offset %d -> node %d local %d -> %d",
-				off, replicaNode, local, got)
+
+		// The identity ring reproduces the legacy neighbour placement: copy 1
+		// of node i lives on (i+1) mod N.
+		if got := fs.placer().target(node, 1); got != (node+1)%nion {
+			t.Fatalf("identity ring places copy 1 of %d on %d, want %d", node, got, (node+1)%nion)
+		}
+
+		// Replica address tags round-trip and never collide with the base
+		// address bits.
+		for r := 0; r < MaxReplicationFactor; r++ {
+			base, gotR := splitReplicaAddr(replicaAddr(addr, r))
+			if base != addr || gotR != r {
+				t.Fatalf("replica tag roundtrip: (%d,%d) -> (%d,%d)", addr, r, base, gotR)
+			}
 		}
 
 		// Consecutive stripes of one file on the same node are adjacent in its
@@ -78,19 +93,21 @@ func FuzzStripeRoundtrip(f *testing.F) {
 	})
 }
 
-// FuzzFileOffsetForward feeds fileOffset arbitrary (node, local) pairs and
-// requires the forward mapping to reproduce them — the inverse direction of
-// FuzzStripeRoundtrip, covering locals that no real offset produced.
+// FuzzFileOffsetForward feeds fileOffset arbitrary (node, local, copy)
+// triples and requires the forward mapping to reproduce them — the inverse
+// direction of FuzzStripeRoundtrip, covering locals that no real offset
+// produced.
 func FuzzFileOffsetForward(f *testing.F) {
-	f.Add(uint16(0), uint8(15), uint32(64*1024), uint8(3), uint64(64*1024*5+17), false)
-	f.Add(uint16(9), uint8(7), uint32(4096), uint8(0), uint64(0), true)
-	f.Add(uint16(511), uint8(31), uint32(512), uint8(200), uint64(1<<20), true)
-	f.Fuzz(func(t *testing.T, idRaw uint16, nionRaw uint8, suRaw uint32, nodeRaw uint8, localRaw uint64, replica bool) {
+	f.Add(uint16(0), uint8(15), uint32(64*1024), uint8(3), uint64(64*1024*5+17), uint8(0))
+	f.Add(uint16(9), uint8(7), uint32(4096), uint8(0), uint64(0), uint8(1))
+	f.Add(uint16(511), uint8(31), uint32(512), uint8(200), uint64(1<<20), uint8(3))
+	f.Fuzz(func(t *testing.T, idRaw uint16, nionRaw uint8, suRaw uint32, nodeRaw uint8, localRaw uint64, replicaRaw uint8) {
 		nion := int(nionRaw%64) + 1
 		su := int64(suRaw%(1<<20)) + 1
 		node := int(nodeRaw) % nion
 		local := int64(localRaw % (1 << 30))
 		id := iotrace.FileID(idRaw % 1024)
+		replica := int(replicaRaw) % MaxReplicationFactor
 
 		fs := fuzzFS(nion, su)
 		file := &File{fs: fs, id: id, firstIONode: int(id) % nion}
@@ -101,13 +118,9 @@ func FuzzFileOffsetForward(f *testing.F) {
 		}
 		stripe := off / su
 		primary := file.stripeIONode(stripe, nion)
-		wantNode := primary
-		if replica {
-			wantNode = (primary + 1) % nion
-		}
-		if wantNode != node {
-			t.Fatalf("offset %d (stripe %d) places on node %d, came from node %d (replica=%v)",
-				off, stripe, wantNode, node, replica)
+		if wantNode := fs.placer().target(primary, replica); wantNode != node {
+			t.Fatalf("offset %d (stripe %d) places copy %d on node %d, came from node %d",
+				off, stripe, replica, wantNode, node)
 		}
 		if got := file.arrayAddr(stripe, off%su, nion, su) - int64(id)<<34; got != local {
 			t.Fatalf("forward remap of offset %d gives local %d, want %d", off, got, local)

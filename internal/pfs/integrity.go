@@ -103,20 +103,17 @@ type CorruptRange struct {
 	File    string
 	Offset  int64
 	Bytes   int64
-	Replica bool // corruption sits on the chunk's replica copy
+	Replica int // copy index the corruption sits on (0 = the primary copy)
 	Class   integrity.Class
 }
 
 // fileOffset maps an I/O node's local byte address back to the owning
-// file's offset (the inverse of stripeIONode + arrayAddr).
-func (fs *FileSystem) fileOffset(f *File, node int, localByte int64, replica bool) int64 {
+// file's offset (the inverse of stripeIONode + arrayAddr). For a replica
+// copy the placement ring is inverted to find the chunk's primary first.
+func (fs *FileSystem) fileOffset(f *File, node int, localByte int64, replica int) int64 {
 	nion := len(fs.ion)
 	su := fs.cfg.StripeUnit
-	primary := node
-	if replica {
-		// Replicas live on the node after their primary.
-		primary = (node - 1 + nion) % nion
-	}
+	primary := fs.placer().primaryOf(node, replica)
 	localChunk := localByte / su
 	within := localByte % su
 	slot := (primary - f.firstIONode + nion) % nion
@@ -146,10 +143,9 @@ func (fs *FileSystem) HarvestCorruption() []CorruptRange {
 		}
 		bs := st.BlockBytes()
 		for _, cb := range st.CorruptBlocks() {
-			addr := cb.Block * bs
-			replica := addr&replicaAddrBit != 0
-			local := addr & (replicaAddrBit - 1)
-			f := byID[iotrace.FileID(addr>>34)]
+			base, replica := splitReplicaAddr(cb.Block * bs)
+			local := base & localAddrMask
+			f := byID[iotrace.FileID(base>>34)]
 			if f == nil {
 				continue // not PFS-addressed state; nothing to carry
 			}
@@ -174,7 +170,7 @@ func (fs *FileSystem) HarvestCorruption() []CorruptRange {
 		if a.Offset != b.Offset {
 			return a.Offset < b.Offset
 		}
-		return !a.Replica && b.Replica
+		return a.Replica < b.Replica
 	})
 	return out
 }
@@ -200,9 +196,9 @@ func (fs *FileSystem) InjectCorruption(recs []CorruptRange) int {
 		within := r.Offset % su
 		ionIdx := f.stripeIONode(stripe, nion)
 		addr := f.arrayAddr(stripe, within, nion, su)
-		if r.Replica {
-			ionIdx = (ionIdx + 1) % nion
-			addr |= replicaAddrBit
+		if r.Replica > 0 {
+			ionIdx = fs.placer().target(ionIdx, r.Replica)
+			addr = replicaAddr(addr, r.Replica)
 		}
 		st := fs.ion[ionIdx].Integrity()
 		if st == nil {

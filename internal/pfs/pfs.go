@@ -56,6 +56,11 @@ type FileSystem struct {
 	hseq   int64 // hedge process name sequence
 
 	coll *collState // nil when collective I/O is disabled
+
+	plc        *placer      // zone-interleaved replica ring
+	rf         int          // effective replication factor (1 = no replication)
+	readPolicy string       // how replicated reads pick a copy
+	rep        *repairState // nil when the repair control plane is off
 }
 
 // FailoverStats counts the failover machinery's activity under injected
@@ -87,6 +92,16 @@ func New(eng *sim.Engine, msh *mesh.Mesh, cfg Config) (*FileSystem, error) {
 	fs.cfg.Reliability = cfg.Reliability.Normalized()
 	if fs.cfg.Reliability.Enabled {
 		fs.relRNG = sim.NewRNG(fs.cfg.Reliability.Seed)
+	}
+	fs.cfg.Replication = cfg.Replication.normalized(cfg.Failover, cfg.IONodes)
+	fs.rf = fs.cfg.Replication.Factor
+	fs.readPolicy = fs.cfg.Replication.ReadPolicy
+	fs.plc = newPlacer(cfg.Zones(), fs.cfg.Replication.Seed)
+	// Keep the legacy Replicate flag in sync with the effective factor so the
+	// paths that gate on it (hedged reads, the CLI reports) see one truth.
+	fs.cfg.Failover.Replicate = fs.rf > 1
+	if fs.cfg.Replication.Repair.Enabled && fs.rf > 1 {
+		fs.rep = newRepairState(fs.cfg.Replication.Repair)
 	}
 	total := msh.Nodes()
 	for i := 0; i < cfg.IONodes; i++ {
@@ -343,15 +358,6 @@ func (fs *FileSystem) drainCache(p *sim.Process, f *File) {
 	}
 }
 
-// Replica placement: stripe chunks whose primary is I/O node i keep their
-// replica on node (i+1) mod N, in a separate region of that node's array
-// address space (and under a separate sequential-detection stream) so
-// replica traffic does not masquerade as a continuation of primary streams.
-const (
-	replicaStreamBit = int64(1) << 40
-	replicaAddrBit   = int64(1) << 33
-)
-
 // transfer moves bytes between compute node `node` and the stripes of f in
 // [off, off+n), charging mesh and I/O-node costs chunk by chunk. It is the
 // physical data path shared by every mode. When a chunk's I/O node is down,
@@ -405,14 +411,16 @@ func (fs *FileSystem) chunkIO(p *sim.Process, node int, f *File, ion int, addr, 
 	if read && fs.hedgeEligible() {
 		err = fs.hedgedRead(p, node, f, ion, addr, chunk)
 	} else {
+		r0 := fs.readCopy(addr, read)
 		start := p.Now()
-		err = fs.tryNode(p, node, ion, int64(f.id), addr, chunk, read)
+		err = fs.tryNode(p, node, fs.placer().target(ion, r0),
+			replicaStream(int64(f.id), r0), replicaAddr(addr, r0), chunk, read)
 		if err == nil && read && rel.Enabled && rel.Hedge {
 			fs.lat.record(p.Now() - start)
 		}
 	}
 	if err == nil {
-		if !read && fo.Enabled && fo.Replicate && len(fs.ion) > 1 {
+		if !read && fs.rf > 1 {
 			fs.mirrorWrite(p, node, f, ion, addr, chunk)
 		}
 		return nil
@@ -425,20 +433,22 @@ func (fs *FileSystem) chunkIO(p *sim.Process, node int, f *File, ion int, addr, 
 			fs.fo.Failed++
 			return fmt.Errorf("pfs: %s chunk at ionode %d: %w", rw(read), ion, err)
 		}
-		return fs.corruptRetry(p, node, f, ion, addr, chunk, dl)
+		return fs.corruptRetry(p, node, f, ion, fs.readCopy(addr, read), addr, chunk, dl)
 	}
 	if !fo.Enabled {
 		fs.fo.Failed++
 		return fmt.Errorf("pfs: %s chunk at ionode %d: %w", rw(read), ion, ErrIONodeDown)
 	}
 
-	// Primary is dead: charge the detection timeout, then retry with
-	// exponential backoff — against the replica when one exists, else
-	// against the primary in the hope the outage ends first.
+	// The node we tried is dead: charge the detection timeout, then retry
+	// with exponential backoff — cycling through the chunk's other copies
+	// when replicas exist, else against the primary in the hope the outage
+	// ends first.
 	fs.fo.Timeouts++
 	fs.fo.BackoffTime += fo.DetectTimeout
 	p.Sleep(fo.DetectTimeout)
 	backoff := fo.Backoff
+	r0 := fs.readCopy(addr, read)
 	for attempt := 0; attempt < fo.MaxRetries; attempt++ {
 		if rel.Enabled && dl > 0 && p.Now() >= dl {
 			fs.rel.DeadlineExceeded++
@@ -454,15 +464,22 @@ func (fs *FileSystem) chunkIO(p *sim.Process, node int, f *File, ion int, addr, 
 			backoff *= 2
 		}
 		fs.fo.Retries++
-		target, stream, taddr := ion, int64(f.id), addr
-		if fo.Replicate && len(fs.ion) > 1 {
-			target = (ion + 1) % len(fs.ion)
-			stream |= replicaStreamBit
-			taddr |= replicaAddrBit
+		r := 0
+		if fs.rf > 1 {
+			r = (r0 + 1 + attempt%(fs.rf-1)) % fs.rf
 		}
-		if err := fs.tryNode(p, node, target, stream, taddr, chunk, read); err == nil {
+		target := fs.placer().target(ion, r)
+		err := fs.tryNode(p, node, target,
+			replicaStream(int64(f.id), r), replicaAddr(addr, r), chunk, read)
+		if err == nil {
 			if target != ion {
 				fs.fo.Reroutes++
+			}
+			if !read && r != 0 {
+				// A degraded (sloppy) write: the data landed on copy r while
+				// the primary was unreachable. Every other copy is now stale;
+				// the repair daemon will reconcile from r.
+				fs.noteSloppyWrite(f, ion, r, addr, chunk)
 			}
 			return nil
 		}
@@ -471,13 +488,25 @@ func (fs *FileSystem) chunkIO(p *sim.Process, node int, f *File, ion int, addr, 
 	return fmt.Errorf("pfs: %s chunk at ionode %d: %w", rw(read), ion, ErrIONodeDown)
 }
 
+// readCopy picks the copy a healthy read starts at: always the primary,
+// except under the any-replica policy, where the chunk address spreads reads
+// round-robin over all copies. Writes always start at the primary.
+func (fs *FileSystem) readCopy(addr int64, read bool) int {
+	if !read || fs.rf < 2 || fs.readPolicy != ReadAnyReplica {
+		return 0
+	}
+	return int((addr / fs.cfg.StripeUnit) % int64(fs.rf))
+}
+
 // corruptRetry is the reliability layer's response to a read rejected by
-// checksum verification: bounded retries with seeded exponential backoff +
-// jitter, rerouted to the chunk's replica when one exists (re-reading the
-// corrupt primary cannot succeed until something rewrites the block). A
-// replica read that succeeds schedules a background heal write restoring the
-// primary copy.
-func (fs *FileSystem) corruptRetry(p *sim.Process, node int, f *File, ion int, addr, chunk int64, dl sim.Time) error {
+// checksum verification on copy badCopy: bounded retries with seeded
+// exponential backoff + jitter, cycling over the chunk's other copies when
+// replicas exist (re-reading the corrupt copy cannot succeed until something
+// rewrites the block). A replica read that succeeds schedules a background
+// heal write restoring the corrupt copy; under the quorum read policy it
+// additionally reads further copies until a majority of the replication
+// factor has verified.
+func (fs *FileSystem) corruptRetry(p *sim.Process, node int, f *File, ion, badCopy int, addr, chunk int64, dl sim.Time) error {
 	rel := fs.cfg.Reliability
 	fo := fs.cfg.Failover
 	fs.rel.CorruptRetries++
@@ -495,21 +524,22 @@ func (fs *FileSystem) corruptRetry(p *sim.Process, node int, f *File, ion int, a
 			backoff *= 2
 		}
 		fs.rel.Retries++
-		target, stream, taddr := ion, int64(f.id), addr
-		if fo.Enabled && fo.Replicate && len(fs.ion) > 1 {
-			target = (ion + 1) % len(fs.ion)
-			stream |= replicaStreamBit
-			taddr |= replicaAddrBit
+		r := badCopy
+		if fo.Enabled && fs.rf > 1 {
+			r = (badCopy + 1 + attempt%(fs.rf-1)) % fs.rf
 		}
-		if err := fs.tryNode(p, node, target, stream, taddr, chunk, true); err == nil {
-			if target != ion {
+		target := fs.placer().target(ion, r)
+		err := fs.tryNode(p, node, target,
+			replicaStream(int64(f.id), r), replicaAddr(addr, r), chunk, true)
+		if err == nil {
+			if r != badCopy {
 				fs.rel.CorruptReroutes++
-				fs.healPrimary(node, f, ion, addr, chunk)
+				fs.healCopy(node, f, ion, badCopy, addr, chunk)
+				fs.quorumRead(p, node, f, ion, badCopy, r, addr, chunk)
 			}
 			return nil
-		} else {
-			lastErr = err
 		}
+		lastErr = err
 	}
 	fs.rel.CorruptFailed++
 	if errors.Is(lastErr, integrity.ErrCorrupt) {
@@ -518,14 +548,39 @@ func (fs *FileSystem) corruptRetry(p *sim.Process, node int, f *File, ion int, a
 	return fmt.Errorf("pfs: read chunk at ionode %d: %w", ion, ErrIONodeDown)
 }
 
-// healPrimary spawns a background repair write of a chunk whose corrupt
-// primary copy was recovered from its replica: the rewrite bumps the block
-// version and restores a valid checksum, closing the corruption event.
-func (fs *FileSystem) healPrimary(node int, f *File, ion int, addr, chunk int64) {
+// quorumRead implements the quorum read policy's answer to detected
+// corruption: one verified copy (good) is not trusted on its own — further
+// copies are read until a majority of the replication factor has verified or
+// the copies run out. Extra reads that fail are tolerated; the already
+// verified copy still answers.
+func (fs *FileSystem) quorumRead(p *sim.Process, node int, f *File, ion, badCopy, good int, addr, chunk int64) {
+	if fs.readPolicy != ReadQuorum || fs.rf < 3 {
+		return // majority of rf <= 2 is one verified copy — already in hand
+	}
+	need := fs.rf/2 + 1
+	have := 1
+	for r := 0; r < fs.rf && have < need; r++ {
+		if r == badCopy || r == good {
+			continue
+		}
+		fs.rel.QuorumReads++
+		if err := fs.tryNode(p, node, fs.placer().target(ion, r),
+			replicaStream(int64(f.id), r), replicaAddr(addr, r), chunk, true); err == nil {
+			have++
+		}
+	}
+}
+
+// healCopy spawns a background repair write of a chunk whose corrupt copy
+// was recovered from another replica: the rewrite bumps the block version
+// and restores a valid checksum, closing the corruption event.
+func (fs *FileSystem) healCopy(node int, f *File, ion, badCopy int, addr, chunk int64) {
+	target := fs.placer().target(ion, badCopy)
 	fs.hseq++
-	fs.eng.Spawn(fmt.Sprintf("pfs-heal%d-ion%d", fs.hseq, ion), func(hp *sim.Process) {
-		fs.msh.Transfer(hp, node, fs.ionHome[ion], chunk)
-		if err := fs.ion[ion].BlockIO(hp, int64(f.id), addr, chunk, false); err == nil {
+	fs.eng.Spawn(fmt.Sprintf("pfs-heal%d-ion%d", fs.hseq, target), func(hp *sim.Process) {
+		fs.msh.Transfer(hp, node, fs.ionHome[target], chunk)
+		if err := fs.ion[target].BlockIO(hp, replicaStream(int64(f.id), badCopy),
+			replicaAddr(addr, badCopy), chunk, false); err == nil {
 			fs.rel.RepairWrites++
 		}
 	})
@@ -588,8 +643,8 @@ func (fs *FileSystem) hedgedRead(p *sim.Process, node int, f *File, ion int, add
 		hIssued = true
 		fs.rel.HedgesIssued++
 		fs.rel.HedgeExtraBytes += chunk
-		target := (ion + 1) % len(fs.ion)
-		err := fs.tryNode(hp, node, target, int64(f.id)|replicaStreamBit, addr|replicaAddrBit, chunk, true)
+		target := fs.placer().target(ion, 1)
+		err := fs.tryNode(hp, node, target, replicaStream(int64(f.id), 1), replicaAddr(addr, 1), chunk, true)
 		hDone = true
 		if err == nil {
 			if !settled {
@@ -608,13 +663,20 @@ func (fs *FileSystem) hedgedRead(p *sim.Process, node int, f *File, ion int, add
 	return result
 }
 
-// mirrorWrite pushes a chunk's replica to the next I/O node. A failed mirror
-// is not fatal — the primary holds the data — but is counted.
+// mirrorWrite pushes a chunk's copies 1..rf-1 to their placement targets. A
+// failed mirror is not fatal — the primary holds the data — but is counted,
+// and with the repair control plane on, the missed copy enters the
+// under-replication index for the daemon to restore.
 func (fs *FileSystem) mirrorWrite(p *sim.Process, node int, f *File, ion int, addr, chunk int64) {
-	target := (ion + 1) % len(fs.ion)
-	fs.fo.MirrorWrites++
-	fs.msh.Transfer(p, node, fs.ionHome[target], chunk)
-	_, _ = fs.ion[target].Do(p, int64(f.id)|replicaStreamBit, addr|replicaAddrBit, chunk, false)
+	for r := 1; r < fs.rf; r++ {
+		target := fs.placer().target(ion, r)
+		fs.fo.MirrorWrites++
+		fs.msh.Transfer(p, node, fs.ionHome[target], chunk)
+		_, err := fs.ion[target].Do(p, replicaStream(int64(f.id), r), replicaAddr(addr, r), chunk, false)
+		if err != nil {
+			fs.noteMirrorMiss(f, ion, r, addr, chunk)
+		}
+	}
 }
 
 func rw(read bool) string {
@@ -641,7 +703,7 @@ func (fs *FileSystem) syncIO(p *sim.Process, ion int, cost sim.Time) error {
 	fs.fo.BackoffTime += fo.DetectTimeout
 	p.Sleep(fo.DetectTimeout)
 	fs.fo.Retries++
-	if _, err := fs.ion[(ion+1)%len(fs.ion)].Sync(p, cost); err != nil {
+	if _, err := fs.ion[fs.placer().target(ion, 1)].Sync(p, cost); err != nil {
 		fs.fo.Failed++
 		return ErrIONodeDown
 	}

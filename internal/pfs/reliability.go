@@ -100,6 +100,7 @@ type ReliabilityStats struct {
 	CorruptReroutes  int64    // corrupt chunks completed from the replica
 	CorruptFailed    int64    // chunks abandoned still corrupt
 	RepairWrites     int64    // background heal writes to corrupt primaries
+	QuorumReads      int64    // extra replica reads issued by the quorum policy
 	HedgesIssued     int64    // hedge attempts that actually issued I/O
 	HedgeWins        int64    // hedges that completed before the primary
 	HedgeLosses      int64    // hedges that lost the race (wasted I/O)

@@ -43,6 +43,12 @@ type Measurements struct {
 	FailedOps            int64 // chunks abandoned by failover/reliability
 	PhysRequests         int64
 	CompletionErr        string // the driver's error on a failed run
+
+	// Replication/repair measurements (zero without the repair plane).
+	HasReplication     bool
+	Redundancy         int     // copies per chunk still intact at the end
+	RepairTimeS        float64 // time-to-full-redundancy
+	UnrestoredReplicas int64   // copies the repair daemon never restored
 }
 
 // Measure extracts the assertion inputs from a run. rr may carry a final
@@ -76,13 +82,24 @@ func Measure(rr *core.ResilientReport, runErr error) Measurements {
 		}
 		m.PhysRequests = rr.Final.PhysRequests
 		m.UnrepairedCorruption = unrepaired(rr.Final)
+		m.HasReplication = rr.Final.ReplicationFactor > 1
+		m.Redundancy = rr.Final.ReplicationFactor
+		if rr.Final.RepairEnabled() {
+			st := rr.Final.Repair
+			m.RepairTimeS = st.TimeToFullRedundancy().Seconds()
+			m.UnrestoredReplicas = st.Abandoned + (st.LedgerPuts - st.LedgerDrains)
+			if m.UnrestoredReplicas > 0 && m.Redundancy > 1 {
+				// At least one chunk ends the run a copy short.
+				m.Redundancy--
+			}
+		}
 	}
 
 	switch {
 	case rr.Final == nil || runErr != nil:
 		m.Outcome = OutcomeFailed
 	case m.FailedAttempts > 0 || rr.LostWork > 0 || m.LostBytes > 0 ||
-		m.UnrepairedCorruption > 0 || m.FailedOps > 0:
+		m.UnrepairedCorruption > 0 || m.FailedOps > 0 || m.UnrestoredReplicas > 0:
 		m.Outcome = OutcomeDegraded
 	default:
 		m.Outcome = OutcomeOK
@@ -172,6 +189,15 @@ func (a *Assertions) Evaluate(m Measurements) []Check {
 	if a.MaxPhysRequests > 0 {
 		add("max_phys_requests", fmt.Sprintf("%d", a.MaxPhysRequests),
 			fmt.Sprintf("%d", m.PhysRequests), m.PhysRequests <= a.MaxPhysRequests)
+	}
+	if a.MinRedundancy != nil {
+		add("min_redundancy", fmt.Sprintf("%d", *a.MinRedundancy),
+			fmt.Sprintf("%d", m.Redundancy), m.Redundancy >= *a.MinRedundancy)
+	}
+	if a.MaxRepairTimeS > 0 {
+		add("max_repair_time_s", fmt.Sprintf("%g", a.MaxRepairTimeS),
+			fmt.Sprintf("%.3f", m.RepairTimeS),
+			m.RepairTimeS <= a.MaxRepairTimeS && m.UnrestoredReplicas == 0)
 	}
 	return out
 }

@@ -175,6 +175,21 @@ func (s *Scenario) applyFeatures(study *core.Study, f *Fleet) error {
 	} else if fo.Enabled {
 		cfg.Failover = pfs.DefaultFailoverConfig()
 		cfg.Failover.Replicate = fo.Replicate
+		cfg.Replication = pfs.ReplicationConfig{
+			Factor:     fo.Factor,
+			Seed:       fo.PlacementSeed,
+			ReadPolicy: fo.ReadPolicy,
+		}
+		if rp := fo.Repair; rp != nil && rp.Enabled {
+			rc := pfs.DefaultRepairConfig()
+			if rp.BandwidthMBs > 0 {
+				rc.BandwidthBytesPerS = rp.BandwidthMBs * float64(1<<20)
+			}
+			if rp.GiveUpS > 0 {
+				rc.GiveUp = sim.FromSeconds(rp.GiveUpS)
+			}
+			cfg.Replication.Repair = rc
+		}
 	}
 
 	if c := s.Features.Cache; c != nil && c.Enabled {

@@ -146,10 +146,32 @@ type ReliabilityFeature struct {
 	Retries   int     `json:"retries,omitempty"`
 }
 
-// FailoverFeature mirrors -failover/-replicate.
+// FailoverFeature mirrors -failover/-replicate plus the N-way replication
+// controls (-rf/-placement-seed/-read-policy and the repair daemon flags).
 type FailoverFeature struct {
 	Enabled   bool `json:"enabled"`
 	Replicate bool `json:"replicate,omitempty"`
+
+	// Factor is the replication factor, 1..4 (0 defers to Replicate: 2 when
+	// set, else 1). Replicas spread across the fleet templates' zones.
+	Factor int `json:"factor,omitempty"`
+
+	// PlacementSeed perturbs the within-zone order of the replica ring; 0
+	// keeps index order (the legacy neighbour placement on one zone).
+	PlacementSeed uint64 `json:"placement_seed,omitempty"`
+
+	// ReadPolicy is primary-first (default), any-replica, or quorum.
+	ReadPolicy string `json:"read_policy,omitempty"`
+
+	// Repair enables the background repair control plane.
+	Repair *RepairFeature `json:"repair,omitempty"`
+}
+
+// RepairFeature configures the replication repair daemon.
+type RepairFeature struct {
+	Enabled      bool    `json:"enabled"`
+	BandwidthMBs float64 `json:"bandwidth_mb_s,omitempty"` // 0 = 32 MB/s default
+	GiveUpS      float64 `json:"give_up_s,omitempty"`      // 0 = never give up
 }
 
 // Chaos binds the existing fault machinery. Field names match the legacy
@@ -285,6 +307,16 @@ type Assertions struct {
 	// MaxPhysRequests bounds the physical array request count (the quantity
 	// caching and collective aggregation collapse).
 	MaxPhysRequests int64 `json:"max_phys_requests,omitempty"`
+
+	// MinRedundancy asserts the run ended with at least this many intact
+	// copies of every chunk — it fails when the repair control plane left
+	// replicas unrestored (abandoned or still queued). Requires failover
+	// with a replication factor >= the bound.
+	MinRedundancy *int `json:"min_redundancy,omitempty"`
+
+	// MaxRepairTimeS bounds time-to-full-redundancy: how long after the
+	// last outage ended the repair daemon needed to drain its ledger.
+	MaxRepairTimeS float64 `json:"max_repair_time_s,omitempty"`
 }
 
 // Parse decodes a scenario from JSON or the YAML subset, detected by the

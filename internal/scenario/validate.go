@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/ionode"
+	"repro/internal/pfs"
 	"repro/internal/sim"
 )
 
@@ -171,6 +172,37 @@ func (s *Scenario) validateFeatures() error {
 			return fmt.Errorf("features.reliability.retries %d is negative", r.Retries)
 		}
 	}
+	if fo := f.Failover; fo != nil {
+		if !fo.Enabled && (fo.Factor != 0 || fo.ReadPolicy != "" || fo.Repair != nil) {
+			return fmt.Errorf("features.failover: factor, read_policy and repair need enabled: true")
+		}
+		if fo.Factor < 0 || fo.Factor > pfs.MaxReplicationFactor {
+			return fmt.Errorf("features.failover.factor %d: want 0 (legacy) or 1..%d", fo.Factor, pfs.MaxReplicationFactor)
+		}
+		switch fo.ReadPolicy {
+		case "", pfs.ReadPrimaryFirst, pfs.ReadAnyReplica, pfs.ReadQuorum:
+		default:
+			return fmt.Errorf("features.failover.read_policy %q: want %s, %s or %s",
+				fo.ReadPolicy, pfs.ReadPrimaryFirst, pfs.ReadAnyReplica, pfs.ReadQuorum)
+		}
+		if rp := fo.Repair; rp != nil {
+			if !rp.Enabled && (rp.BandwidthMBs != 0 || rp.GiveUpS != 0) {
+				return fmt.Errorf("features.failover.repair: bandwidth_mb_s and give_up_s need enabled: true")
+			}
+			if rp.BandwidthMBs < 0 {
+				return fmt.Errorf("features.failover.repair.bandwidth_mb_s %g is negative", rp.BandwidthMBs)
+			}
+			if rp.GiveUpS < 0 {
+				return fmt.Errorf("features.failover.repair.give_up_s %g is negative", rp.GiveUpS)
+			}
+			if rp.Enabled && fo.Factor == 1 {
+				return fmt.Errorf("features.failover.repair needs replication (factor >= 2, or factor 0 with replicate: true)")
+			}
+			if rp.Enabled && fo.Factor == 0 && !fo.Replicate {
+				return fmt.Errorf("features.failover.repair needs replication (set factor or replicate: true)")
+			}
+		}
+	}
 	return nil
 }
 
@@ -278,6 +310,17 @@ func (s *Scenario) validateAssertions() error {
 	}
 	if a.MaxPhysRequests < 0 {
 		return fmt.Errorf("assertions.max_phys_requests %d is negative", a.MaxPhysRequests)
+	}
+	if a.MinRedundancy != nil {
+		if *a.MinRedundancy < 0 || *a.MinRedundancy > pfs.MaxReplicationFactor {
+			return fmt.Errorf("assertions.min_redundancy %d: want 0..%d", *a.MinRedundancy, pfs.MaxReplicationFactor)
+		}
+		if *a.MinRedundancy > 1 && s.Features.Failover != nil && !s.Features.Failover.Enabled {
+			return fmt.Errorf("assertions.min_redundancy needs features.failover enabled")
+		}
+	}
+	if a.MaxRepairTimeS < 0 {
+		return fmt.Errorf("assertions.max_repair_time_s %g is negative", a.MaxRepairTimeS)
 	}
 	return nil
 }
