@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchjson [-bench REGEXP] [-pkg PKG] [-benchtime 1x] [-count 1] [-out BENCH_2.json]
+//	benchjson [-bench REGEXP] [-pkg PKG] [-benchtime 1x] [-count 1] [-shards N] [-out BENCH_2.json]
 //
 // It shells out to `go test -run ^$ -bench ...` (the toolchain is a build
 // prerequisite of this repository, so no extra tooling is needed) and parses
@@ -23,27 +23,33 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/cliflags"
 )
 
-// Result is one benchmark's parsed outcome.
+// Result is one benchmark's parsed outcome. WallS is the measured loop's
+// total wall-clock (ns/op × iterations), so scaling curves can be plotted
+// without re-deriving it.
 type Result struct {
 	Name    string             `json:"name"`
 	Procs   int                `json:"procs"`
 	Iters   int64              `json:"iters"`
 	NsPerOp float64            `json:"ns_per_op"`
+	WallS   float64            `json:"wall_s"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Output is the JSON document benchjson writes. GOMAXPROCS and NumCPU record
-// the host parallelism the numbers were taken at — a sweep's wall-clock only
-// reflects the executor's fan-out when the host has cores to fan out to, so
-// cross-machine comparisons need this context.
+// Output is the JSON document benchjson writes. GOMAXPROCS, NumCPU and
+// Shards record the host parallelism the numbers were taken at — a sweep's
+// wall-clock only reflects the executor's fan-out when the host has cores to
+// fan out to, so cross-machine comparisons need this context.
 type Output struct {
 	Package    string   `json:"package"`
 	Bench      string   `json:"bench"`
 	BenchTime  string   `json:"benchtime"`
 	GoVersion  string   `json:"go_version"`
 	GoMaxProcs int      `json:"gomaxprocs"`
+	Shards     int      `json:"shards"`
 	NumCPU     int      `json:"num_cpu"`
 	Benchmarks []Result `json:"benchmarks"`
 }
@@ -65,9 +71,11 @@ func run(args []string) error {
 	out := fs.String("out", "BENCH_2.json", "output JSON file")
 	cpuprofile := fs.String("cpuprofile", "", "passed through to go test: write the benchmarks' CPU profile here")
 	memprofile := fs.String("memprofile", "", "passed through to go test: write the benchmarks' heap profile here")
+	shardFlags := cliflags.AddShards(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	shards := shardFlags.Resolve()
 
 	testArgs := []string{"test", "-run", "^$",
 		"-bench", *bench, "-benchtime", *benchtime,
@@ -79,6 +87,9 @@ func run(args []string) error {
 		testArgs = append(testArgs, "-memprofile", *memprofile)
 	}
 	cmd := exec.Command("go", append(testArgs, *pkg)...)
+	// Shard-sweeping benchmarks read REPRO_SHARDS to bench exactly the
+	// host's configured parallelism instead of the default sweep.
+	cmd.Env = append(os.Environ(), "REPRO_SHARDS="+strconv.Itoa(shards))
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
@@ -95,6 +106,7 @@ func run(args []string) error {
 		BenchTime:  *benchtime,
 		GoVersion:  goVersion(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     shards,
 		NumCPU:     runtime.NumCPU(),
 		Benchmarks: results,
 	}
@@ -140,6 +152,7 @@ func Parse(out string) []Result {
 			unit := fields[i+1]
 			if unit == "ns/op" {
 				r.NsPerOp = v
+				r.WallS = v * float64(r.Iters) / 1e9
 				ok = true
 				continue
 			}

@@ -59,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	collFlags := cliflags.AddCollective(fs)
 	burstFlags := cliflags.AddBurst(fs)
 	scenarioFlag := cliflags.AddScenario(fs, "scenario")
+	shardFlags := cliflags.AddShards(fs)
 	mtbf := fs.Float64("mtbf", 0, "inject I/O-node outages with this exponential mean time between failures in seconds (0 = none)")
 	outage := fs.Float64("outage", 5, "duration in seconds of each injected outage")
 	chaosWindow := fs.Float64("chaos-window", 600, "stop injecting faults after this many simulated seconds")
@@ -75,6 +76,7 @@ func run(args []string, out io.Writer) error {
 	defer prof.Stop()
 
 	var study core.Study
+	var fleetOpts *core.FleetOptions
 	if sc, ok, err := scenarioFlag.Load(); err != nil {
 		return err
 	} else if ok {
@@ -95,6 +97,9 @@ func run(args []string, out io.Writer) error {
 		}
 		if fl := scenario.RenderFleet(fleet); fl != "" {
 			fmt.Fprint(out, fl)
+		}
+		if fo, isFleet := sc.FleetOptions(shardFlags.Count()); isFleet {
+			fleetOpts = &fo
 		}
 	} else {
 		if *small {
@@ -158,9 +163,23 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	report, err := core.Run(study)
-	if err != nil {
-		return err
+	var report *core.Report
+	if fleetOpts != nil {
+		// Multi-cell scenario: run the fleet on the sharded engine and
+		// characterize the representative cell (cell 0 keeps the study's
+		// own fault timeline).
+		fr, err := core.RunFleet(study, *fleetOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, scenario.RenderFleetRun(fr))
+		report = fr.Cells[0]
+	} else {
+		var err error
+		report, err = core.Run(study)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "%s: wall clock %.2f s, %d I/O events\n\n", *app, report.Wall.Seconds(), len(report.Events))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/scenario"
 )
 
@@ -15,7 +17,7 @@ import (
 // declarative-DSL front door.
 func runScenarioCmd(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: stress scenario <validate|run> FILE-OR-DIR...")
+		return fmt.Errorf("usage: stress scenario <validate|run> [-shards N] FILE-OR-DIR...")
 	}
 	switch args[0] {
 	case "validate":
@@ -99,7 +101,12 @@ func scenarioValidate(args []string, out io.Writer) error {
 // the command. With a single file the report is byte-identical to the
 // equivalent flag-driven invocation, with the scenario sections appended.
 func scenarioRun(args []string, out io.Writer) error {
-	files, err := collectScenarioFiles(args)
+	fs := flag.NewFlagSet("stress scenario run", flag.ContinueOnError)
+	shardFlags := cliflags.AddShards(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files, err := collectScenarioFiles(fs.Args())
 	if err != nil {
 		return err
 	}
@@ -109,6 +116,7 @@ func scenarioRun(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		sc.Shards = shardFlags.Count()
 		if len(files) > 1 {
 			if i > 0 {
 				fmt.Fprintln(out)
@@ -120,6 +128,9 @@ func scenarioRun(args []string, out io.Writer) error {
 			return err
 		}
 		printResilientReport(out, res.Report)
+		if res.FleetRun != nil {
+			fmt.Fprint(out, scenario.RenderFleetRun(res.FleetRun))
+		}
 		if fl := scenario.RenderFleet(res.Fleet); fl != "" {
 			fmt.Fprint(out, fl)
 		}

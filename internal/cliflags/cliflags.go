@@ -7,6 +7,7 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
 	"repro/internal/burst"
 	"repro/internal/cache"
@@ -244,6 +245,33 @@ func (c *Collective) Apply(cfg *pfs.Config) error {
 		}
 	}
 	return nil
+}
+
+// Shards bundles the sharded-engine flag every binary that can run a
+// multi-cell fleet shares. Results are byte-identical at any setting — the
+// flag only bounds how many cells execute concurrently.
+type Shards struct {
+	N *int
+}
+
+// AddShards registers -shards on fs.
+func AddShards(fs *flag.FlagSet) *Shards {
+	return &Shards{
+		N: fs.Int("shards", 0, "fleet cells executing concurrently on the sharded engine: 0 = GOMAXPROCS, 1 = the serial oracle (results identical at any setting)"),
+	}
+}
+
+// Count returns the raw flag value (0 = auto), the form core.FleetOptions
+// takes.
+func (s *Shards) Count() int { return *s.N }
+
+// Resolve returns the effective worker count: GOMAXPROCS when the flag is 0
+// or negative.
+func (s *Shards) Resolve() int {
+	if *s.N < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return *s.N
 }
 
 // Scenario bundles the declarative scenario-file flag: both commands load

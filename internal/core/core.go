@@ -58,6 +58,12 @@ type Study struct {
 	// false only real-time reductions run (Pablo's low-perturbation mode).
 	KeepTrace bool
 
+	// TraceReserve pre-sizes the trace capture buffers (events). Zero uses
+	// a small default suitable for paper-scale runs; scenario-generated
+	// fleets set it from their expected event volume so capture never
+	// reallocates mid-run.
+	TraceReserve int
+
 	// WindowWidth sets the time-window reduction granularity (default 10s).
 	WindowWidth sim.Time
 
@@ -192,16 +198,33 @@ type runtime struct {
 // prepare builds a fresh runtime for one attempt of the study. The returned
 // study has defaults merged in.
 func prepare(s Study) (Study, *runtime, error) {
+	return prepareOn(s, nil)
+}
+
+// prepareOn is prepare with an engine supplied by the caller — the sharded
+// fleet driver builds each cell's machine on its own fabric shard engine. A
+// nil engine builds a fresh one (the serial path).
+func prepareOn(s Study, eng *sim.Engine) (Study, *runtime, error) {
 	if s.Machine.ComputeNodes == 0 {
 		s = mergeDefaults(s)
 	}
-	m, err := workload.NewMachine(s.Machine)
+	var m *workload.Machine
+	var err error
+	if eng != nil {
+		m, err = workload.NewMachineOn(eng, s.Machine)
+	} else {
+		m, err = workload.NewMachine(s.Machine)
+	}
 	if err != nil {
 		return s, nil, err
 	}
 
 	if s.WindowWidth <= 0 {
 		s.WindowWidth = 10 * sim.Second
+	}
+	reserve := traceReserve
+	if s.TraceReserve > 0 {
+		reserve = s.TraceReserve
 	}
 	rt := &runtime{
 		m:        m,
@@ -211,13 +234,13 @@ func prepare(s Study) (Study, *runtime, error) {
 	}
 	// Even the small studies capture thousands of events; seeding the buffer
 	// skips the early growth reallocations on the per-event capture path.
-	rt.tracer.Reserve(traceReserve)
+	rt.tracer.Reserve(reserve)
 	rt.tracer.Attach(rt.lifetime)
 	rt.tracer.Attach(rt.windows)
 
 	if s.Policy != nil {
 		rt.physTracer = pablo.NewTracer(s.KeepTrace)
-		rt.physTracer.Reserve(traceReserve)
+		rt.physTracer.Reserve(reserve)
 		m.PFS.SetRecorder(rt.physTracer)
 		rt.layer, err = ppfs.New(m.Eng, m.PFS, *s.Policy)
 		if err != nil {
@@ -337,25 +360,40 @@ func Run(s Study) (*Report, error) {
 	}
 	inj := rt.inject(s, events)
 	runErr := workload.Run(rt.m, rt.fs, rt.app)
-	if ae, ok := rt.app.(appErr); ok {
-		if err := ae.Err(); err != nil {
-			// Node-program failures are the root cause; a deadlock from the
-			// abandoned barrier group is their symptom.
-			return nil, fmt.Errorf("%s: %w", s.App, err)
-		}
-	}
-	if inj != nil {
-		if nl, ok := inj.FirstNodeLoss(); ok {
-			// A compute-node loss halts the engine without a node error:
-			// the job was killed, like the real machine would.
-			return nil, fmt.Errorf("%s: compute node %d lost at %v (%d undrained burst-log bytes)",
-				s.App, nl.Node, nl.At, nl.UndrainedBytes)
-		}
+	if err := attemptFailure(s, rt, inj); err != nil {
+		return nil, err
 	}
 	if runErr != nil {
 		return nil, runErr
 	}
+	return finishReport(s, rt, inj), nil
+}
 
+// attemptFailure surfaces the failures a completed engine run can hide:
+// node-program errors collected inside the application, and a compute-node
+// loss that halted the engine (the job was killed, like the real machine
+// would). Both Run and the sharded fleet driver check these the same way.
+func attemptFailure(s Study, rt *runtime, inj *fault.Injector) error {
+	if ae, ok := rt.app.(appErr); ok {
+		if err := ae.Err(); err != nil {
+			// Node-program failures are the root cause; a deadlock from the
+			// abandoned barrier group is their symptom.
+			return fmt.Errorf("%s: %w", s.App, err)
+		}
+	}
+	if inj != nil {
+		if nl, ok := inj.FirstNodeLoss(); ok {
+			return fmt.Errorf("%s: compute node %d lost at %v (%d undrained burst-log bytes)",
+				s.App, nl.Node, nl.At, nl.UndrainedBytes)
+		}
+	}
+	return nil
+}
+
+// finishReport assembles a successful attempt's report: the trace-derived
+// tables, the wall-clock correction for runs whose background daemons
+// outlive the application, and the realized incident timeline.
+func finishReport(s Study, rt *runtime, inj *fault.Injector) *Report {
 	r := rt.report(s)
 	if inj != nil || rt.clockPadded(s) {
 		// Injector drivers (a background rebuild, a not-yet-due storm) and
@@ -382,7 +420,7 @@ func Run(s Study) (*Report, error) {
 		// the last application operation, and the report should say so.
 		r.Incidents = mergeIncidents(r.Incidents, fault.CorruptionIncidents(r.Integrity.Events))
 	}
-	return r, nil
+	return r
 }
 
 // mergeIncidents interleaves two incident timelines by start time.

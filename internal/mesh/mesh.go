@@ -59,8 +59,19 @@ func New(cfg Config) *Mesh {
 	return &Mesh{cfg: cfg}
 }
 
+// Lookahead returns the guaranteed minimum latency of any message crossing
+// the mesh: the per-message software overhead plus one hop of routing delay.
+// No transfer, broadcast, or gather can complete faster, which makes this
+// the conservative-parallel engine's safe horizon bound — a shard whose
+// clock reads t cannot affect another shard before t+Lookahead.
+func (c Config) Lookahead() sim.Time { return c.SWLatency + c.HopLatency }
+
 // Config returns the mesh configuration.
 func (m *Mesh) Config() Config { return m.cfg }
+
+// Lookahead returns the mesh's minimum cross-node message latency (see
+// Config.Lookahead).
+func (m *Mesh) Lookahead() sim.Time { return m.cfg.Lookahead() }
 
 // Nodes returns the number of node positions in the mesh.
 func (m *Mesh) Nodes() int { return m.cfg.Cols * m.cfg.Rows }

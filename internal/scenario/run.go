@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 // Result is one executed scenario: the run's report, the measured
@@ -14,9 +15,15 @@ type Result struct {
 	Fleet    *Fleet
 
 	// Report is the resilience driver's report; non-nil even when the run
-	// exhausted its attempts. RunErr is the driver's completion error.
+	// exhausted its attempts. RunErr is the driver's completion error. For
+	// a multi-cell scenario it is the fleet report adapted to the same
+	// shape (see FleetResilientReport) and FleetRun carries the original.
 	Report *core.ResilientReport
 	RunErr error
+
+	// FleetRun is the sharded-fleet report for scenarios with
+	// fleet_gen.cells > 1; nil for single-machine runs.
+	FleetRun *core.FleetReport
 
 	M      Measurements
 	Checks []Check
@@ -36,6 +43,9 @@ func (r *Scenario) Execute() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if fo, ok := r.FleetOptions(r.Shards); ok {
+		return r.executeFleet(rs, fleet, fo)
+	}
 	rr, runErr := core.RunResilient(rs)
 	if rr == nil && runErr != nil {
 		// No report at all: the study itself was rejected.
@@ -50,6 +60,72 @@ func (r *Scenario) Execute() (*Result, error) {
 		M:        m,
 		Checks:   r.Assertions.Evaluate(m),
 	}, nil
+}
+
+// FleetOptions returns the sharded-fleet options a multi-cell scenario runs
+// under; ok is false for the default single-machine shape. shards is the
+// CLI's -shards value (0 = GOMAXPROCS, 1 = the serial oracle).
+func (r *Scenario) FleetOptions(shards int) (core.FleetOptions, bool) {
+	if r.cells() <= 1 {
+		return core.FleetOptions{}, false
+	}
+	var stagger sim.Time
+	if r.FleetGen.StaggerS > 0 {
+		stagger = sim.FromSeconds(r.FleetGen.StaggerS)
+	}
+	return core.FleetOptions{
+		Cells:   r.cells(),
+		Stagger: stagger,
+		Shards:  shards,
+		Seed:    r.Seed,
+	}, true
+}
+
+// executeFleet runs a multi-cell scenario on the sharded engine: one attempt
+// of the study per cell, no restart loop. A fleet error is a configuration
+// or launch failure, not an assertable outcome, so it fails Execute.
+func (r *Scenario) executeFleet(rs core.ResilientStudy, fleet *Fleet, fo core.FleetOptions) (*Result, error) {
+	s := rs.Study
+	// The measurement layer reads the representative cell's event trace.
+	s.KeepTrace = true
+	fr, err := core.RunFleet(s, fo)
+	if err != nil {
+		return nil, r.fail(err)
+	}
+	rr := FleetResilientReport(fr)
+	m := Measure(rr, nil)
+	return &Result{
+		Scenario: r,
+		Fleet:    fleet,
+		Report:   rr,
+		FleetRun: fr,
+		M:        m,
+		Checks:   r.Assertions.Evaluate(m),
+	}, nil
+}
+
+// FleetResilientReport adapts a fleet report to the resilient-report shape
+// the measurement and rendering layers consume: one completed "attempt" per
+// cell (a fleet run fails fast instead of restarting), cell 0 as the
+// representative report — it keeps the study's own fault timeline, so its
+// trace-derived measurements match the single-machine run's — the
+// concatenated incident log in cell order, and the fleet makespan as the
+// wall clock.
+func FleetResilientReport(fr *core.FleetReport) *core.ResilientReport {
+	rr := &core.ResilientReport{Final: fr.Cells[0], Wall: fr.Makespan}
+	for i, r := range fr.Cells {
+		rr.Attempts = append(rr.Attempts, core.Attempt{Start: fr.Starts[i], End: r.Wall})
+		rr.Incidents = append(rr.Incidents, r.Incidents...)
+	}
+	return rr
+}
+
+// RenderFleetRun formats the fleet-level outcome of a multi-cell scenario.
+func RenderFleetRun(fr *core.FleetReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet run: %d cells on %d shards (%d workers), %d launch mails, makespan %.3fs\n",
+		len(fr.Cells), fr.Fabric.Shards, fr.Fabric.Workers, fr.Fabric.Mail, fr.Makespan.Seconds())
+	return b.String()
 }
 
 // RenderFleet formats the realized fleet as a report section; empty for the

@@ -11,7 +11,7 @@
 //	description: ...
 //	seed: 7                       # one seed drives fleet gen + fault draws
 //	workload:  {app, scale, policy, window_s}
-//	fleet_gen: {compute_nodes, io_nodes, stripe_kb, templates, startup}
+//	fleet_gen: {compute_nodes, io_nodes, stripe_kb, templates, startup, cells, stagger_s}
 //	features:  {cache, collective, sched, burst, integrity, reliability, failover}
 //	chaos:     {window_s, events, exps, cascades, zone_outages, corrupt}
 //	run:       {ckpt_interval, ckpt_bytes, restart_cost_s, max_attempts}
@@ -53,6 +53,12 @@ type Scenario struct {
 	// Path is the source file, for error messages; empty when parsed from
 	// memory.
 	Path string `json:"-"`
+
+	// Shards is an execution parameter, not part of the file schema: the
+	// CLI's -shards value bounding how many fleet cells run concurrently on
+	// the sharded engine (0 = GOMAXPROCS, 1 = the serial oracle). Results
+	// are byte-identical at every setting.
+	Shards int `json:"-"`
 }
 
 // Workload selects the application, its scale, and the policy layer.
@@ -71,6 +77,18 @@ type FleetGen struct {
 	StripeKB     float64    `json:"stripe_kb,omitempty"`     // 0 = paper's 64
 	Templates    []Template `json:"templates,omitempty"`
 	Startup      *Startup   `json:"startup,omitempty"`
+
+	// Cells replicates the generated machine: a fleet of this many
+	// independent cells, each a complete mesh + PFS + application instance,
+	// run concurrently on the sharded conservative-parallel engine. 0 or 1
+	// keeps the single-machine shape. Multi-cell scenarios run a single
+	// attempt per cell (no checkpoint/restart loop), so ckpt_interval must
+	// stay 0.
+	Cells int `json:"cells,omitempty"`
+
+	// StaggerS is the launch delay between consecutive cells, modeling a
+	// fleet scheduler dispatching jobs in sequence (with cells > 1).
+	StaggerS float64 `json:"stagger_s,omitempty"`
 }
 
 // Template is one weighted node flavor. Disk and cache fields shape the I/O

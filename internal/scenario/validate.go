@@ -77,6 +77,15 @@ func (s *Scenario) validateFleetGen() error {
 	if fg.StripeKB < 0 {
 		return fmt.Errorf("fleet_gen.stripe_kb %g is negative", fg.StripeKB)
 	}
+	if fg.Cells < 0 {
+		return fmt.Errorf("fleet_gen.cells %d is negative", fg.Cells)
+	}
+	if fg.StaggerS < 0 {
+		return fmt.Errorf("fleet_gen.stagger_s %g is negative", fg.StaggerS)
+	}
+	if fg.StaggerS > 0 && fg.Cells <= 1 {
+		return fmt.Errorf("fleet_gen.stagger_s needs cells > 1")
+	}
 	fixed := 0
 	names := map[string]bool{}
 	for i, t := range fg.Templates {
@@ -267,6 +276,16 @@ func (s *Scenario) validateRun() error {
 	if s.Workload.App == "render" && s.ckptInterval() > 0 {
 		return fmt.Errorf("run.ckpt_interval: render does not support checkpointing (set ckpt_interval: 0)")
 	}
+	if s.cells() > 1 {
+		// A multi-cell fleet runs one attempt per cell on the sharded
+		// engine; the checkpoint/restart loop is a single-machine driver.
+		if r.CkptInterval != nil && *r.CkptInterval > 0 {
+			return fmt.Errorf("run.ckpt_interval: fleet_gen.cells > 1 runs a single attempt per cell (set ckpt_interval: 0)")
+		}
+		if r.MaxAttempts > 1 {
+			return fmt.Errorf("run.max_attempts: fleet_gen.cells > 1 runs a single attempt per cell")
+		}
+	}
 	if r.CkptBytes < 0 {
 		return fmt.Errorf("run.ckpt_bytes %d is negative", r.CkptBytes)
 	}
@@ -342,7 +361,7 @@ func (s *Scenario) burstEnabled() bool {
 	return s.Features.Burst != nil && s.Features.Burst.Enabled
 }
 
-// ioNodes returns the fleet's I/O-node count (the paper's 16 by default).
+// ioNodes returns each cell's I/O-node count (the paper's 16 by default).
 func (s *Scenario) ioNodes() int {
 	if s.FleetGen != nil && s.FleetGen.IONodes > 0 {
 		return s.FleetGen.IONodes
@@ -350,10 +369,22 @@ func (s *Scenario) ioNodes() int {
 	return 16
 }
 
+// cells returns the fleet's cell count; 1 is the single-machine shape.
+func (s *Scenario) cells() int {
+	if s.FleetGen != nil && s.FleetGen.Cells > 1 {
+		return s.FleetGen.Cells
+	}
+	return 1
+}
+
 // ckptInterval returns the checkpoint interval: the stress command's default
 // of 2 when unset, the explicit value (including 0 = off) otherwise. render
-// never checkpoints — it has no checkpointable work loop.
+// never checkpoints — it has no checkpointable work loop — and multi-cell
+// fleets run single attempts (validateRun rejects an explicit interval).
 func (s *Scenario) ckptInterval() int {
+	if s.cells() > 1 {
+		return 0
+	}
 	if s.Run.CkptInterval != nil {
 		return *s.Run.CkptInterval
 	}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// calendarWorkload runs a contended mixed workload — jittered sleeps, a
+// shared capacity-2 resource, a barrier — and returns the execution trace.
+// The workload deliberately produces same-instant ties so the (time, seq)
+// tie-break is exercised, and event spacings both below and far above the
+// calendar bucket width so aliasing and wrap paths are hit.
+func calendarWorkload(t testing.TB, useCalendar bool, width Time) string {
+	const procs, rounds = 24, 60
+	e := NewEngine()
+	if useCalendar {
+		e.UseCalendar(width)
+	}
+	var log []string
+	rng := NewRNG(7)
+	res := NewResource(e, "disk", 2)
+	bar := NewBarrier(e, "round", procs)
+	for j := 0; j < procs; j++ {
+		j := j
+		r := rng.Split()
+		e.Spawn(fmt.Sprintf("p%d", j), func(p *Process) {
+			for k := 0; k < rounds; k++ {
+				if k%10 == 0 {
+					bar.Wait(p) // every process, so the group always completes
+				}
+				switch r.Intn(3) {
+				case 0:
+					p.Sleep(Time(r.Intn(8)) * Microsecond) // dense, often zero (ties)
+				case 1:
+					p.Sleep(r.Uniform(Microsecond, 3*Millisecond)) // far past one bucket year
+				case 2:
+					res.Use(p, r.Uniform(Microsecond, 20*Microsecond))
+				}
+				log = append(log, fmt.Sprintf("p%d k%d t=%d", j, k, p.Now()))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(log, "\n")
+}
+
+// TestCalendarQueueMatchesHeap is the differential oracle: the calendar queue
+// must pop the identical unique (time, seq) total order as the 4-ary heap,
+// so the full execution trace of a contended workload is byte-identical.
+// Several bucket widths stress different occupancy regimes.
+func TestCalendarQueueMatchesHeap(t *testing.T) {
+	ref := calendarWorkload(t, false, 0)
+	for _, width := range []Time{1, 13, DefaultCalendarWidth, 100 * Millisecond} {
+		if got := calendarWorkload(t, true, width); got != ref {
+			t.Fatalf("calendar(width=%v) trace differs from heap trace", width)
+		}
+	}
+}
+
+// TestCalendarLateUseCalendar pins the misuse panic: switching queue
+// structures after events exist would silently strand them.
+func TestCalendarLateUseCalendar(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Process) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic from late UseCalendar")
+		}
+	}()
+	e.UseCalendar(DefaultCalendarWidth)
+}

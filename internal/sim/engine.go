@@ -38,7 +38,8 @@ import (
 type Engine struct {
 	now    Time
 	events eventQueue
-	seq    uint64 // monotonically increasing schedule sequence, breaks ties
+	cal    *calendarQueue // non-nil: calendar queue replaces the binary heap
+	seq    uint64         // monotonically increasing schedule sequence, breaks ties
 	nextID int
 
 	living  int
@@ -47,6 +48,13 @@ type Engine struct {
 	wake    chan struct{} // signals the engine goroutine that no process is runnable
 	procs   []*Process    // live processes, for deadlock diagnostics
 	free    []*Process    // finished processes whose struct and channels are reusable
+
+	// external marks an engine owned by a Fabric shard: processes may park
+	// waiting for cross-shard mail, so a drained queue with living processes
+	// is not a deadlock — the fabric decides that globally.
+	external bool
+
+	batch []event // scratch for scheduleBatch
 }
 
 // NewEngine returns an engine with the clock at time zero and no processes.
@@ -108,34 +116,148 @@ func (q *eventQueue) pop() event {
 	q.ev[n] = event{} // drop the *Process reference for the collector
 	q.ev = q.ev[:n]
 	if n > 0 {
-		i := 0
-		for {
-			c := i<<2 + 1
-			if c >= n {
-				break
-			}
-			end := c + 4
-			if end > n {
-				end = n
-			}
-			min := c
-			for k := c + 1; k < end; k++ {
-				if q.ev[k].before(q.ev[min]) {
-					min = k
-				}
-			}
-			if !q.ev[min].before(last) {
-				break
-			}
-			q.ev[i] = q.ev[min]
-			i = min
-		}
-		q.ev[i] = last
+		q.siftDown(0, last)
 	}
 	return top
 }
 
+// siftDown places ev at hole i, pushing smaller children up toward the root's
+// former position. The slice beyond i must already satisfy the heap property.
+func (q *eventQueue) siftDown(i int, ev event) {
+	n := len(q.ev)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for k := c + 1; k < end; k++ {
+			if q.ev[k].before(q.ev[min]) {
+				min = k
+			}
+		}
+		if !q.ev[min].before(ev) {
+			break
+		}
+		q.ev[i] = q.ev[min]
+		i = min
+	}
+	q.ev[i] = ev
+}
+
+// pushBatch inserts evs. Small batches sift each element up as push does;
+// batches comparable to the queue size append everything and re-heapify,
+// which is O(n+m) instead of O(m log n). Either way the heap's pop order is
+// the total (time, sequence) order, so batching cannot change scheduling.
+func (q *eventQueue) pushBatch(evs []event) {
+	n := len(q.ev)
+	if m := len(evs); m < 16 || m < n/4 {
+		for _, ev := range evs {
+			q.push(ev)
+		}
+		return
+	}
+	q.ev = append(q.ev, evs...)
+	for i := (len(q.ev) - 2) >> 2; i >= 0; i-- {
+		q.siftDown(i, q.ev[i])
+	}
+}
+
+// The engine's queue operations dispatch to the active structure: the inlined
+// 4-ary heap (default) or the optional calendar queue (UseCalendar). One
+// predictable nil check per operation — no interface boxing on the hot path.
+
+func (e *Engine) qPush(ev event) {
+	if e.cal != nil {
+		e.cal.push(ev)
+		return
+	}
+	e.events.push(ev)
+}
+
+func (e *Engine) qPushBatch(evs []event) {
+	if e.cal != nil {
+		for _, ev := range evs {
+			e.cal.push(ev)
+		}
+		return
+	}
+	e.events.pushBatch(evs)
+}
+
+func (e *Engine) qLen() int {
+	if e.cal != nil {
+		return e.cal.size
+	}
+	return e.events.len()
+}
+
+// qMin peeks at the next due event without removing it.
+func (e *Engine) qMin() (event, bool) {
+	if e.cal != nil {
+		return e.cal.peek()
+	}
+	if len(e.events.ev) == 0 {
+		return event{}, false
+	}
+	return e.events.ev[0], true
+}
+
+func (e *Engine) qPop() event {
+	if e.cal != nil {
+		return e.cal.pop()
+	}
+	return e.events.pop()
+}
+
+// UseCalendar replaces the engine's binary heap with a calendar queue of the
+// given bucket width — O(1) amortized holds for the dense, near-uniform event
+// populations a large fleet's disk and I/O-node service loops generate, where
+// a heap pays log(n) per operation. Pop order is the identical total (time,
+// sequence) order, so the queue choice never changes simulation results.
+// Must be called before any process is spawned.
+func (e *Engine) UseCalendar(width Time) {
+	if e.qLen() > 0 || e.living > 0 {
+		panic("sim: UseCalendar on an engine that already has events")
+	}
+	e.cal = newCalendarQueue(width, calendarBuckets)
+}
+
 func (e *Engine) schedule(p *Process, at Time) {
+	e.checkWake(p, at)
+	p.pendingWake = true
+	e.seq++
+	e.qPush(event{at: at, seq: e.seq, p: p})
+}
+
+// scheduleBatch schedules every process in procs to resume at the same
+// instant, in slice order — the sequence numbers are assigned in order, so
+// the pop order matches what repeated schedule calls would produce, but the
+// heap is rebuilt once instead of sifted per wake. Barrier releases and
+// completion broadcasts are the callers: a 1024-node barrier release is one
+// heapify, not 1024 sift-ups.
+func (e *Engine) scheduleBatch(procs []*Process, at Time) {
+	if len(procs) == 0 {
+		return
+	}
+	e.batch = e.batch[:0]
+	for _, p := range procs {
+		e.checkWake(p, at)
+		p.pendingWake = true
+		e.seq++
+		e.batch = append(e.batch, event{at: at, seq: e.seq, p: p})
+	}
+	e.qPushBatch(e.batch)
+	for i := range e.batch {
+		e.batch[i] = event{} // drop *Process refs for the collector
+	}
+}
+
+func (e *Engine) checkWake(p *Process, at Time) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q in the past (%v < %v)", p.name, at, e.now))
 	}
@@ -147,9 +269,6 @@ func (e *Engine) schedule(p *Process, at Time) {
 		// Spawn; a wake here means some primitive still believes it owns it.
 		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
 	}
-	p.pendingWake = true
-	e.seq++
-	e.events.push(event{at: at, seq: e.seq, p: p})
 }
 
 // Spawn creates a new process named name executing fn and schedules it to
@@ -197,11 +316,15 @@ func (e *Engine) SpawnAt(name string, delay Time, fn func(p *Process)) *Process 
 // processes dispatch through advance, so the executed event order is the
 // same regardless of which goroutine runs it.
 func (e *Engine) advance() *Process {
-	for !e.stopped && e.events.len() > 0 {
-		if e.limit >= 0 && e.events.ev[0].at > e.limit {
+	for !e.stopped {
+		head, ok := e.qMin()
+		if !ok {
+			break
+		}
+		if e.limit >= 0 && head.at > e.limit {
 			return nil
 		}
-		ev := e.events.pop()
+		ev := e.qPop()
 		if ev.p.done {
 			// Stale event for a finished process. Now that it has left the
 			// queue nothing references the process, so it can be reused.
@@ -272,11 +395,27 @@ func (e *Engine) RunUntil(limit Time) error {
 	if e.stopped {
 		return nil
 	}
-	if e.living > 0 && e.events.len() == 0 {
+	if e.living > 0 && e.qLen() == 0 && !e.external {
+		// A fabric-owned engine defers this verdict: its processes may be
+		// parked awaiting cross-shard mail that another shard will deliver.
 		return e.deadlockError()
 	}
 	return nil
 }
+
+// NextEventAt reports the timestamp of the earliest queued event. ok is false
+// when the queue is empty. The fabric's horizon reduction reads this between
+// windows; it must not be called while events are being executed.
+func (e *Engine) NextEventAt() (Time, bool) {
+	ev, ok := e.qMin()
+	return ev.at, ok
+}
+
+// SetExternal marks the engine as owned by a conservative-parallel fabric
+// shard: a drained queue with living processes is no longer reported as a
+// deadlock by RunUntil, because those processes may be waiting on cross-shard
+// mail. The fabric makes the global deadlock determination instead.
+func (e *Engine) SetExternal() { e.external = true }
 
 // Stop halts Run after the currently running event completes. Blocked
 // processes are abandoned in place; Stop is intended for "simulate this many

@@ -96,14 +96,16 @@ func (p *Process) Sleep(d Time) {
 	e := p.eng
 	at := e.now + d
 	e.schedule(p, at)
-	if !e.stopped && (e.limit < 0 || at <= e.limit) && e.events.ev[0].p == p {
-		// A process has at most one pending event (double wakes panic), so
-		// the queue head being ours means our fresh wake is the strict
-		// minimum.
-		e.events.pop()
-		p.pendingWake = false
-		e.now = at
-		return
+	if !e.stopped && (e.limit < 0 || at <= e.limit) {
+		if head, ok := e.qMin(); ok && head.p == p {
+			// A process has at most one pending event (double wakes panic),
+			// so the queue head being ours means our fresh wake is the
+			// strict minimum.
+			e.qPop()
+			p.pendingWake = false
+			e.now = at
+			return
+		}
 	}
 	p.block("sleep")
 }

@@ -137,9 +137,7 @@ func (r *Resource) Break(p *Process) {
 	r.breaks++
 	ejected := r.waiters
 	r.waiters = nil
-	for _, w := range ejected {
-		p.Wake(w)
-	}
+	p.eng.scheduleBatch(ejected, p.eng.now)
 }
 
 // Repair restores a broken resource to service.

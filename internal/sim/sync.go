@@ -30,13 +30,12 @@ func (b *Barrier) Wait(p *Process) {
 		return
 	}
 	if len(b.arrived) == b.n-1 {
-		// Last arrival releases everyone, in arrival order.
+		// Last arrival releases everyone, in arrival order, as one batched
+		// heap insertion.
 		waiting := b.arrived
 		b.arrived = nil
 		b.rounds++
-		for _, w := range waiting {
-			p.Wake(w)
-		}
+		p.eng.scheduleBatch(waiting, p.eng.now)
 		return
 	}
 	b.arrived = append(b.arrived, p)
@@ -169,9 +168,7 @@ func (c *Completion) Complete(p *Process) {
 	}
 	c.done = true
 	c.at = p.Now()
-	for _, w := range c.waiters {
-		p.Wake(w)
-	}
+	p.eng.scheduleBatch(c.waiters, p.eng.now)
 	c.waiters = nil
 }
 
