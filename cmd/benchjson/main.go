@@ -28,15 +28,20 @@ import (
 )
 
 // Result is one benchmark's parsed outcome. WallS is the measured loop's
-// total wall-clock (ns/op × iterations), so scaling curves can be plotted
-// without re-deriving it.
+// total wall-clock (ns/op × iterations) and is emitted for every benchmark
+// line — single-machine runs and fleet sweeps alike — so scaling curves can
+// be plotted without re-deriving it. B/op and allocs/op get first-class
+// fields (matching the names the BENCH_*.json records use) instead of
+// landing in the free-form metrics map.
 type Result struct {
-	Name    string             `json:"name"`
-	Procs   int                `json:"procs"`
-	Iters   int64              `json:"iters"`
-	NsPerOp float64            `json:"ns_per_op"`
-	WallS   float64            `json:"wall_s"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	WallS       float64            `json:"wall_s"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Output is the JSON document benchjson writes. GOMAXPROCS, NumCPU and
@@ -154,6 +159,14 @@ func Parse(out string) []Result {
 				r.NsPerOp = v
 				r.WallS = v * float64(r.Iters) / 1e9
 				ok = true
+				continue
+			}
+			if unit == "B/op" {
+				r.BytesPerOp = v
+				continue
+			}
+			if unit == "allocs/op" {
+				r.AllocsPerOp = v
 				continue
 			}
 			if r.Metrics == nil {

@@ -8,6 +8,7 @@ pkg: repro
 BenchmarkTable1ESCATOps-8   	       3	  45123456 ns/op	     12345 ops	        88.20 io-node-s
 BenchmarkCacheESCATReads-8  	       1	 987654321 ns/op	        38.50 pfs-read-ms	        13.20 cached-read-ms	        69.20 hit-pct
 BenchmarkNoMetrics          	     100	     50000 ns/op
+BenchmarkSingleMachinePaperScale/app=escat/serial 	       2	 150000000 ns/op	      9205 sim-wall-s	  32625728 B/op	    104236 allocs/op
 garbage line that is not a benchmark
 BenchmarkBroken-8           	     abc	     50000 ns/op
 PASS
@@ -16,12 +17,13 @@ ok  	repro	4.567s
 
 func TestParse(t *testing.T) {
 	rs := Parse(sample)
-	if len(rs) != 3 {
-		t.Fatalf("%d results, want 3: %+v", len(rs), rs)
+	if len(rs) != 4 {
+		t.Fatalf("%d results, want 4: %+v", len(rs), rs)
 	}
 	// Sorted by name.
 	if rs[0].Name != "BenchmarkCacheESCATReads" || rs[1].Name != "BenchmarkNoMetrics" ||
-		rs[2].Name != "BenchmarkTable1ESCATOps" {
+		rs[2].Name != "BenchmarkSingleMachinePaperScale/app=escat/serial" ||
+		rs[3].Name != "BenchmarkTable1ESCATOps" {
 		t.Fatalf("order: %+v", rs)
 	}
 	c := rs[0]
@@ -36,7 +38,24 @@ func TestParse(t *testing.T) {
 	if n.Procs != 1 || n.Iters != 100 || n.NsPerOp != 50000 || n.Metrics != nil {
 		t.Fatalf("no-metrics result %+v", n)
 	}
-	e := rs[2]
+	// Every line gets wall_s = ns/op x iters, single-machine runs included.
+	for _, r := range rs {
+		want := r.NsPerOp * float64(r.Iters) / 1e9
+		if r.WallS != want {
+			t.Errorf("%s: wall_s = %v, want %v", r.Name, r.WallS, want)
+		}
+	}
+	s := rs[2]
+	if s.Iters != 2 || s.WallS != 0.3 {
+		t.Fatalf("single-machine result %+v", s)
+	}
+	if s.BytesPerOp != 32625728 || s.AllocsPerOp != 104236 {
+		t.Fatalf("single-machine alloc fields %+v", s)
+	}
+	if s.Metrics["sim-wall-s"] != 9205 || len(s.Metrics) != 1 {
+		t.Fatalf("single-machine metrics %+v (B/op and allocs/op must not leak into metrics)", s.Metrics)
+	}
+	e := rs[3]
 	if e.Metrics["ops"] != 12345 || e.Metrics["io-node-s"] != 88.20 {
 		t.Fatalf("escat metrics %+v", e.Metrics)
 	}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// intrashardApps is the serial-vs-sharded curve's app set: the three traced
+// workloads of the paper, each at full paper scale.
+var intrashardApps = []AppID{ESCAT, RENDER, HTF}
+
+// benchSerialRun is the single-engine baseline: one paper-scale study per
+// iteration on the plain serial path.
+func benchSerialRun(b *testing.B, s Study) {
+	b.ReportAllocs()
+	var wall sim.Time
+	for i := 0; i < b.N; i++ {
+		r, err := Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall = r.Wall
+	}
+	b.ReportMetric(wall.Seconds(), "sim-wall-s")
+}
+
+// benchShardedRun partitions the same study across the fabric (frontend +
+// ioShards server shards) under one worker bound. Results are byte-identical
+// across worker counts (TestSharded* hold them to it), so the sub-benchmarks
+// differ only in host wall-clock — the single-run scaling curve
+// BENCH_10.json records.
+func benchShardedRun(b *testing.B, s Study, ioShards, workers int) {
+	b.ReportAllocs()
+	var wall sim.Time
+	var mail int64
+	for i := 0; i < b.N; i++ {
+		sr, err := RunSharded(s, ShardedOptions{IOShards: ioShards, Workers: workers, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall = sr.Wall
+		mail = sr.Fabric.Mail
+	}
+	b.ReportMetric(wall.Seconds(), "sim-wall-s")
+	b.ReportMetric(float64(mail), "cross-shard-mails")
+}
+
+// BenchmarkSingleMachinePaperScale sweeps serial vs partitioned execution of
+// one paper-scale run per app — the tentpole's acceptance measurement. The
+// serial sub-benchmark is the "before"; workers=1 isolates the conservative
+// protocol's overhead (same partition, no concurrency); higher worker counts
+// show the fan-out a multi-core host gets. The worker sweep honors
+// REPRO_SHARDS like the fleet benchmarks.
+func BenchmarkSingleMachinePaperScale(b *testing.B) {
+	const ioShards = 4
+	for _, app := range intrashardApps {
+		s := PaperStudy(app)
+		s.KeepTrace = false
+		b.Run(fmt.Sprintf("app=%s/serial", app), func(b *testing.B) {
+			benchSerialRun(b, s)
+		})
+		for _, workers := range fleetShardCounts() {
+			b.Run(fmt.Sprintf("app=%s/ioshards=%d/workers=%d", app, ioShards, workers), func(b *testing.B) {
+				benchShardedRun(b, s, ioShards, workers)
+			})
+		}
+	}
+}

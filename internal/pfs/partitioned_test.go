@@ -1,0 +1,70 @@
+package pfs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/sim"
+)
+
+// partitionedHarness builds the minimal fabric shape NewPartitioned needs: a
+// frontend shard plus one server shard per requested I/O shard.
+func partitionedHarness(ioShards int) (*sim.Shard, []*sim.Shard) {
+	fab := sim.NewFabric(1)
+	fe := fab.AddShard("fe", 1)
+	srv := make([]*sim.Shard, ioShards)
+	for g := range srv {
+		srv[g] = fab.AddShard("io", 1)
+	}
+	return fe, srv
+}
+
+// TestNewPartitionedRejectsZeroLookahead pins the setup-time guard: a mesh
+// whose software and hop latencies are both zero has no positive lookahead,
+// so every fabric edge would carry a zero bound and the conservative
+// horizon loop could never admit cross-shard work. The configuration must be
+// rejected with an actionable error, not deadlock at run time.
+func TestNewPartitionedRejectsZeroLookahead(t *testing.T) {
+	cfg := DefaultConfig()
+	mcfg := mesh.DefaultConfig(cfg.ComputeNodes + cfg.IONodes)
+	mcfg.SWLatency, mcfg.HopLatency = 0, 0
+	fe, srv := partitionedHarness(2)
+	assign := make([]int, cfg.IONodes)
+	for i := range assign {
+		assign[i] = i % len(srv)
+	}
+	_, err := NewPartitioned(fe, srv, assign, mesh.New(mcfg), cfg)
+	if err == nil {
+		t.Fatal("NewPartitioned accepted a zero-lookahead mesh")
+	}
+	if !strings.Contains(err.Error(), "lookahead") {
+		t.Fatalf("zero-lookahead rejection should name the lookahead, got: %v", err)
+	}
+}
+
+// TestNewPartitionedValidatesShape covers the remaining setup errors: no
+// server shards, an assignment that does not cover the I/O nodes, and an
+// assignment referencing a shard that does not exist.
+func TestNewPartitionedValidatesShape(t *testing.T) {
+	cfg := DefaultConfig()
+	msh := mesh.New(mesh.DefaultConfig(cfg.ComputeNodes + cfg.IONodes))
+	full := make([]int, cfg.IONodes)
+
+	fe, _ := partitionedHarness(0)
+	if _, err := NewPartitioned(fe, nil, full, msh, cfg); err == nil {
+		t.Fatal("NewPartitioned accepted an empty server-shard set")
+	}
+
+	fe, srv := partitionedHarness(2)
+	if _, err := NewPartitioned(fe, srv, full[:1], msh, cfg); err == nil {
+		t.Fatal("NewPartitioned accepted a short assignment")
+	}
+
+	fe, srv = partitionedHarness(2)
+	bad := make([]int, cfg.IONodes)
+	bad[0] = len(srv)
+	if _, err := NewPartitioned(fe, srv, bad, msh, cfg); err == nil {
+		t.Fatal("NewPartitioned accepted an out-of-range shard assignment")
+	}
+}

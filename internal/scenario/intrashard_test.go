@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const splitScenarioSrc = `
+name: split-run
+seed: 13
+workload:
+  app: escat
+fleet_gen:
+  io_nodes: 4
+  shard_layout: split:2
+features:
+  integrity:
+    enabled: true
+assertions:
+  expected: ok
+  max_failed_attempts: 0
+`
+
+// splitResultImage executes the split-machine scenario under one worker
+// bound and renders the result.
+func splitResultImage(t *testing.T, shards int) string {
+	t.Helper()
+	sc, err := Parse([]byte(splitScenarioSrc), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Shards = shards
+	res, err := sc.Execute()
+	if err != nil {
+		t.Fatalf("Execute (shards=%d): %v", shards, err)
+	}
+	if res.FleetRun != nil {
+		t.Fatalf("split single-machine scenario ran as a multi-cell fleet")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "wall=%d attempts=%d events=%d summary=%+v\n",
+		res.Report.Wall, len(res.Report.Attempts), len(res.Report.Final.Events), res.Report.Final.Summary)
+	b.WriteString(RenderChecks(sc.Name, res.M, res.Checks))
+	return b.String()
+}
+
+// TestExecuteSplitByteIdenticalAcrossShards is the DSL-level face of the
+// intra-machine oracle: a shard_layout split:2 scenario's result must not
+// depend on the -shards worker bound.
+func TestExecuteSplitByteIdenticalAcrossShards(t *testing.T) {
+	ref := splitResultImage(t, 1)
+	if !strings.Contains(ref, "Assertions (split-run): PASS") {
+		t.Fatalf("split scenario did not pass its assertions:\n%s", ref)
+	}
+	for _, shards := range []int{2, 4} {
+		if got := splitResultImage(t, shards); got != ref {
+			t.Errorf("split scenario result at shards=%d differs from the shards=1 oracle:\n-- shards=1:\n%s\n-- shards=%d:\n%s",
+				shards, ref, shards, got)
+		}
+	}
+}
+
+// TestShardLayoutValidation pins the knob's accepted forms and its
+// interaction with the checkpoint loop.
+func TestShardLayoutValidation(t *testing.T) {
+	parse := func(layout, run string) error {
+		src := "workload:\n  app: escat\nfleet_gen:\n  shard_layout: " + layout + "\n" + run
+		_, err := Parse([]byte(src), "")
+		return err
+	}
+	if err := parse("single", ""); err != nil {
+		t.Fatalf("shard_layout single rejected: %v", err)
+	}
+	if err := parse("split:4", ""); err != nil {
+		t.Fatalf("shard_layout split:4 rejected: %v", err)
+	}
+	for _, bad := range []string{"split:0", "split:x", "mesh"} {
+		if err := parse(bad, ""); err == nil || !strings.Contains(err.Error(), "shard_layout") {
+			t.Errorf("shard_layout %q: got err %v, want a shard_layout rejection", bad, err)
+		}
+	}
+	if err := parse("split:2", "run:\n  ckpt_interval: 2\n"); err == nil ||
+		!strings.Contains(err.Error(), "single attempt") {
+		t.Errorf("split + ckpt_interval: got err %v, want a single-attempt rejection", err)
+	}
+}
